@@ -1,0 +1,280 @@
+package picprk
+
+// One benchmark per table/figure in the paper's evaluation (§V), plus
+// end-to-end benchmarks of the real goroutine drivers. The figure
+// benchmarks run the performance model at reduced (Quick) scale so the
+// suite completes in seconds and print the regenerated series; run
+// cmd/picbench for the paper's full problem sizes.
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"github.com/parres/picprk/internal/ampi"
+	"github.com/parres/picprk/internal/diffusion"
+	"github.com/parres/picprk/internal/dist"
+	"github.com/parres/picprk/internal/driver"
+	"github.com/parres/picprk/internal/grid"
+	"github.com/parres/picprk/internal/model"
+	"github.com/parres/picprk/internal/sweep"
+)
+
+func renderOnce(b *testing.B, fig *sweep.Figure) {
+	b.Helper()
+	var sb strings.Builder
+	fig.Render(&sb)
+	b.Log("\n" + sb.String())
+}
+
+// BenchmarkFig5IntervalSweep regenerates the green line of Figure 5:
+// execution time vs the interval F between AMPI load-balancer invocations
+// at fixed over-decomposition d=4.
+func BenchmarkFig5IntervalSweep(b *testing.B) {
+	mach := model.Edison()
+	var fig *sweep.Figure
+	for i := 0; i < b.N; i++ {
+		fig = sweep.Fig5(mach, sweep.Quick)
+	}
+	renderOnce(b, fig)
+	reportSeries(b, fig, 0)
+}
+
+// BenchmarkFig5OverdecompSweep regenerates the red line of Figure 5:
+// execution time vs over-decomposition degree d at fixed F=1000.
+func BenchmarkFig5OverdecompSweep(b *testing.B) {
+	mach := model.Edison()
+	var fig *sweep.Figure
+	for i := 0; i < b.N; i++ {
+		fig = sweep.Fig5(mach, sweep.Quick)
+	}
+	renderOnce(b, fig)
+	reportSeries(b, fig, 1)
+}
+
+// BenchmarkFig6StrongSingleNode regenerates Figure 6 (left): strong scaling
+// of the three implementations on one node.
+func BenchmarkFig6StrongSingleNode(b *testing.B) {
+	mach := model.Edison()
+	var fig *sweep.Figure
+	for i := 0; i < b.N; i++ {
+		fig = sweep.Fig6Left(mach, sweep.Quick)
+	}
+	renderOnce(b, fig)
+}
+
+// BenchmarkFig6StrongMultiNode regenerates Figure 6 (right): strong scaling
+// across nodes, including the §V-B speedup-over-serial comparison.
+func BenchmarkFig6StrongMultiNode(b *testing.B) {
+	mach := model.Edison()
+	var fig *sweep.Figure
+	for i := 0; i < b.N; i++ {
+		fig = sweep.Fig6Right(mach, sweep.Quick)
+	}
+	renderOnce(b, fig)
+}
+
+// BenchmarkFig7WeakScaling regenerates Figure 7: weak scaling with the grid
+// fixed and particles proportional to cores.
+func BenchmarkFig7WeakScaling(b *testing.B) {
+	mach := model.Edison()
+	var fig *sweep.Figure
+	for i := 0; i < b.N; i++ {
+		fig = sweep.Fig7(mach, sweep.Quick)
+	}
+	renderOnce(b, fig)
+}
+
+func reportSeries(b *testing.B, fig *sweep.Figure, idx int) {
+	b.Helper()
+	s := fig.Series[idx]
+	lo, hi := s.Values[0], s.Values[0]
+	for _, v := range s.Values {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	b.ReportMetric(hi/lo, "worst/best")
+}
+
+// --- Ablation benchmarks (design choices called out in DESIGN.md) ----------
+
+func ablationWorkload(b *testing.B) model.WorkloadFactory {
+	b.Helper()
+	m := grid.MustMesh(1498, 1)
+	return func() *model.Workload {
+		w, err := model.NewWorkload(dist.Config{Mesh: m, N: 600000, Dist: dist.Geometric{R: 0.999}, Seed: 1}, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return w
+	}
+}
+
+// BenchmarkAblationLBStrategies compares the runtime balancers at 96 cores:
+// Charm-style GreedyLB (locality-agnostic, the paper's behaviour), RefineLB
+// (incremental), and the locality-hinted greedy the paper's §V-B suggests.
+func BenchmarkAblationLBStrategies(b *testing.B) {
+	mach := model.Edison()
+	wf := ablationWorkload(b)
+	strategies := []ampi.Strategy{ampi.GreedyLB{}, ampi.RefineLB{}, &ampi.HintedGreedyLB{}}
+	for i := 0; i < b.N; i++ {
+		for _, s := range strategies {
+			o := model.SimulateAMPI(mach, wf(), 96, 1500, model.AMPIModelParams{Overdecompose: 8, Every: 160, Strategy: s})
+			if i == 0 {
+				b.Logf("%-16s %7.2fs (compute %.2f, comm %.2f, lb %.2f, migrations %d)",
+					s.Name(), o.Seconds, o.ComputeSeconds, o.CommSeconds, o.LBSeconds, o.Migrations)
+			}
+		}
+	}
+}
+
+// BenchmarkAblationDiffusionKnobs sweeps the three interfering diffusion
+// parameters (§IV-B) around the tuned point, demonstrating that the cut
+// speed Width/Every must outpace the workload drift.
+func BenchmarkAblationDiffusionKnobs(b *testing.B) {
+	mach := model.Edison()
+	wf := ablationWorkload(b)
+	configs := []diffusion.Params{
+		{Every: 2, Threshold: 0.02, Width: 8, MinWidth: 9},      // tuned
+		{Every: 2, Threshold: 0.02, Width: 1, MinWidth: 2},      // too narrow
+		{Every: 50, Threshold: 0.02, Width: 8, MinWidth: 9},     // too rare
+		{Every: 50, Threshold: 0.02, Width: 100, MinWidth: 101}, // rare but wide
+		{Every: 2, Threshold: 0.5, Width: 8, MinWidth: 9},       // too timid
+	}
+	for i := 0; i < b.N; i++ {
+		for _, p := range configs {
+			o := model.SimulateDiffusion(mach, wf(), 24, 1500, p)
+			if i == 0 {
+				b.Logf("every=%-3d width=%-3d thresh=%.2f: %7.2fs (maxload %.0f/%.0f)",
+					p.Every, p.Width, p.Threshold, o.Seconds, o.MaxFinalLoad, o.IdealLoad)
+			}
+		}
+	}
+}
+
+// BenchmarkAblationTwoPhase compares x-only diffusion (the paper's
+// experimental choice) with the full two-phase scheme on the y-uniform
+// paper workload: phase 2 costs a reduction and buys nothing here.
+func BenchmarkAblationTwoPhase(b *testing.B) {
+	mach := model.Edison()
+	wf := ablationWorkload(b)
+	for i := 0; i < b.N; i++ {
+		x := model.SimulateDiffusion(mach, wf(), 96, 1500, diffusion.Params{Every: 2, Threshold: 0.02, Width: 8, MinWidth: 9})
+		two := model.SimulateDiffusion(mach, wf(), 96, 1500, diffusion.Params{Every: 2, Threshold: 0.02, Width: 8, MinWidth: 9, TwoPhase: true})
+		if i == 0 {
+			b.Logf("x-only %7.3fs   two-phase %7.3fs (overhead %+.1f%%)", x.Seconds, two.Seconds, (two.Seconds/x.Seconds-1)*100)
+		}
+	}
+}
+
+// BenchmarkAblationOverdecomposition isolates the d knob's two sides: finer
+// balance granularity vs per-VP scheduling and fragmentation overhead.
+func BenchmarkAblationOverdecomposition(b *testing.B) {
+	mach := model.Edison()
+	wf := ablationWorkload(b)
+	for i := 0; i < b.N; i++ {
+		for _, d := range []int{1, 4, 16, 64} {
+			o := model.SimulateAMPI(mach, wf(), 96, 1500, model.AMPIModelParams{Overdecompose: d, Every: 640})
+			if i == 0 {
+				b.Logf("d=%-3d %7.2fs (compute %.2f, comm %.2f, maxload %.0f/%.0f)",
+					d, o.Seconds, o.ComputeSeconds, o.CommSeconds, o.MaxFinalLoad, o.IdealLoad)
+			}
+		}
+	}
+}
+
+// --- End-to-end benchmarks of the real goroutine drivers -------------------
+
+func benchConfig(b *testing.B) driver.Config {
+	b.Helper()
+	mesh, err := grid.NewMesh(64, grid.DefaultCharge)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return driver.Config{
+		Mesh: mesh, N: 20000, Steps: 50,
+		Dist: dist.Geometric{R: 0.92}, Seed: 5,
+	}
+}
+
+// BenchmarkDriverBaseline measures the real mpi-2d driver end to end.
+func BenchmarkDriverBaseline(b *testing.B) {
+	cfg := benchConfig(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := driver.RunBaseline(4, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(cfg.N*cfg.Steps), "particle-steps/op")
+}
+
+// BenchmarkDriverDiffusion measures the real mpi-2d-LB driver end to end.
+func BenchmarkDriverDiffusion(b *testing.B) {
+	cfg := benchConfig(b)
+	params := diffusion.Params{Every: 5, Threshold: 0.05, Width: 2, MinWidth: 3}
+	for i := 0; i < b.N; i++ {
+		if _, err := driver.RunDiffusion(4, cfg, params); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(cfg.N*cfg.Steps), "particle-steps/op")
+}
+
+// BenchmarkDriverAMPI measures the real ampi driver end to end, including
+// PUP-serialized VP migration.
+func BenchmarkDriverAMPI(b *testing.B) {
+	cfg := benchConfig(b)
+	params := driver.AMPIParams{Overdecompose: 4, Every: 10}
+	for i := 0; i < b.N; i++ {
+		if _, err := driver.RunAMPI(4, cfg, params); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(cfg.N*cfg.Steps), "particle-steps/op")
+}
+
+// BenchmarkRealComparison runs all three real drivers side by side on one
+// skewed workload and reports the balance quality each achieves — the
+// in-process analogue of the paper's Figure 6 comparison (wall-clock
+// parallelism is not meaningful in-process; the imbalance columns are).
+func BenchmarkRealComparison(b *testing.B) {
+	mesh, err := grid.NewMesh(96, grid.DefaultCharge)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := driver.Config{
+		Mesh: mesh, N: 40000, Steps: 80,
+		Dist: dist.Geometric{R: 0.95}, Seed: 5, Verify: true,
+	}
+	const p = 6
+	for i := 0; i < b.N; i++ {
+		base, err := driver.RunBaseline(p, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		diff, err := driver.RunDiffusion(p, cfg, diffusion.Params{Every: 1, Threshold: 0.05, Width: 2, MinWidth: 3})
+		if err != nil {
+			b.Fatal(err)
+		}
+		am, err := driver.RunAMPI(p, cfg, driver.AMPIParams{Overdecompose: 8, Every: 10})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			ideal := cfg.N / p
+			b.Logf("max particles/rank (ideal %d): mpi-2d %d, mpi-2d-LB %d, ampi %d (all verified: %v)",
+				ideal, base.MaxFinalParticles, diff.MaxFinalParticles, am.MaxFinalParticles,
+				base.Verified && diff.Verified && am.Verified)
+		}
+	}
+}
+
+// TestMain keeps the root package's benchmarks runnable with plain
+// `go test ./...` (no benchmarks selected) without other test files.
+func TestMain(m *testing.M) {
+	os.Exit(m.Run())
+}

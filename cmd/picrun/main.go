@@ -1,0 +1,159 @@
+// Command picrun executes one PIC PRK simulation with any of the
+// implementations — the sequential reference or the three parallel drivers
+// of paper §IV running on goroutine ranks — and reports timing, per-rank
+// statistics, and the self-verification verdict.
+//
+// Examples:
+//
+//	picrun -impl serial -L 64 -n 100000 -steps 500
+//	picrun -impl diffusion -p 8 -L 128 -n 200000 -steps 1000 -r 0.95 -every 10
+//	picrun -impl ampi -p 4 -d 8 -F 50 -L 64 -n 50000 -steps 500
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/parres/picprk/internal/ampi"
+	"github.com/parres/picprk/internal/core"
+	"github.com/parres/picprk/internal/diffusion"
+	"github.com/parres/picprk/internal/dist"
+	"github.com/parres/picprk/internal/driver"
+	"github.com/parres/picprk/internal/grid"
+	"github.com/parres/picprk/internal/stats"
+)
+
+func main() {
+	var (
+		impl      = flag.String("impl", "serial", "implementation: serial | baseline | diffusion | ampi")
+		p         = flag.Int("p", 4, "number of ranks (parallel implementations)")
+		L         = flag.Int("L", 64, "domain size in cells per dimension (must be even)")
+		n         = flag.Int("n", 100000, "number of particles")
+		steps     = flag.Int("steps", 500, "time steps")
+		k         = flag.Int("k", 0, "horizontal speed parameter: (2k+1) cells/step")
+		mVert     = flag.Int("m", 0, "vertical speed parameter: m cells/step")
+		distName  = flag.String("dist", "geometric", "distribution: geometric | sinusoidal | linear | patch | uniform")
+		r         = flag.Float64("r", 0.999, "geometric ratio (dist=geometric)")
+		seed      = flag.Uint64("seed", 1, "placement seed")
+		every     = flag.Int("every", 10, "diffusion: steps between LB actions")
+		width     = flag.Int("width", 1, "diffusion: border columns moved per action")
+		threshold = flag.Float64("threshold", 0.05, "diffusion: trigger threshold (fraction of mean load)")
+		d         = flag.Int("d", 4, "ampi: over-decomposition degree")
+		interval  = flag.Int("F", 50, "ampi: steps between load balancer invocations")
+		strategy  = flag.String("strategy", "refine", "ampi: refine | greedy | hinted | steal | rotate | null")
+		verify    = flag.Bool("verify", true, "verify against the closed-form solution")
+	)
+	flag.Parse()
+
+	mesh, err := grid.NewMesh(*L, grid.DefaultCharge)
+	if err != nil {
+		fatal(err)
+	}
+	var d0 dist.Distribution
+	switch *distName {
+	case "geometric":
+		d0 = dist.Geometric{R: *r}
+	case "sinusoidal":
+		d0 = dist.Sinusoidal{}
+	case "linear":
+		d0 = dist.Linear{Alpha: 1, Beta: 2}
+	case "patch":
+		d0 = dist.Patch{X0: 0, X1: *L / 4, Y0: 0, Y1: *L / 4}
+	case "uniform":
+		d0 = dist.Uniform{}
+	default:
+		fatal(fmt.Errorf("unknown distribution %q", *distName))
+	}
+	cfg := driver.Config{
+		Mesh: mesh, N: *n, K: *k, M: *mVert,
+		Dist: d0, Seed: *seed, Steps: *steps, Verify: *verify,
+	}
+
+	switch *impl {
+	case "serial":
+		runSerial(cfg)
+	case "baseline":
+		report(driver.RunBaseline(*p, cfg))
+	case "diffusion":
+		params := diffusion.Params{Every: *every, Threshold: *threshold, Width: *width, MinWidth: *width + 1}
+		report(driver.RunDiffusion(*p, cfg, params))
+	case "ampi":
+		var s ampi.Strategy
+		switch *strategy {
+		case "refine":
+			s = ampi.RefineLB{}
+		case "greedy":
+			s = ampi.GreedyLB{}
+		case "rotate":
+			s = ampi.RotateLB{}
+		case "hinted":
+			s = &ampi.HintedGreedyLB{}
+		case "steal":
+			s = ampi.WorkStealLB{}
+		case "null":
+			s = ampi.NullLB{}
+		default:
+			fatal(fmt.Errorf("unknown strategy %q", *strategy))
+		}
+		report(driver.RunAMPI(*p, cfg, driver.AMPIParams{Overdecompose: *d, Every: *interval, Strategy: s}))
+	default:
+		fatal(fmt.Errorf("unknown implementation %q", *impl))
+	}
+}
+
+func runSerial(cfg driver.Config) {
+	sim, err := core.NewSimulation(dist.Config{
+		Mesh: cfg.Mesh, N: cfg.N, K: cfg.K, M: cfg.M, Dist: cfg.Dist, Seed: cfg.Seed,
+	}, cfg.Schedule)
+	if err != nil {
+		fatal(err)
+	}
+	start := time.Now()
+	sim.Run(cfg.Steps)
+	elapsed := time.Since(start)
+	rate := float64(len(sim.Particles)) * float64(cfg.Steps) / elapsed.Seconds()
+	fmt.Printf("serial: %d particles, %d steps in %v (%.1fM particle-steps/s)\n",
+		len(sim.Particles), cfg.Steps, elapsed.Round(time.Millisecond), rate/1e6)
+	if cfg.Verify {
+		if err := sim.Verify(0); err != nil {
+			fatal(fmt.Errorf("VERIFICATION FAILED: %w", err))
+		}
+		fmt.Println("verification: PASSED (closed-form positions + ID checksum)")
+	}
+}
+
+func report(res *driver.Result, err error) {
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s: P=%d, %d particles, %d steps in %v\n",
+		res.Name, res.P, res.FinalParticles, res.Steps, res.Elapsed.Round(time.Millisecond))
+	loads := make([]float64, len(res.PerRank))
+	for i, s := range res.PerRank {
+		loads[i] = float64(s.FinalParticles)
+	}
+	fmt.Printf("final load: %v\n", stats.Summarize(loads))
+	fmt.Printf("max particles/rank: %d final, %d high-water\n", res.MaxFinalParticles, res.MaxParticlesHighWater())
+	var migrations int
+	var bytes int64
+	for _, s := range res.PerRank {
+		migrations += s.Migrations
+		bytes += s.BytesMigrated
+	}
+	fmt.Printf("LB activity: %d migrations, %d payload bytes\n", migrations, bytes)
+	for _, s := range res.PerRank {
+		fmt.Printf("  rank %2d: compute %-10v exchange %-10v balance %-10v particles %d\n",
+			s.Rank, s.Compute.Round(time.Microsecond), s.Exchange.Round(time.Microsecond),
+			s.Balance.Round(time.Microsecond), s.FinalParticles)
+	}
+	if res.Verified {
+		fmt.Println("verification: PASSED (closed-form positions + ID checksum)")
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "picrun:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,171 @@
+// Command picverify runs the PIC PRK verification battery: every parallel
+// implementation, across rank counts, distributions, particle speeds and
+// event schedules, is checked for (a) the closed-form solution of paper
+// §III-D and (b) bitwise agreement with the sequential reference. A single
+// force miscalculation or routing bug anywhere fails the battery.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/parres/picprk/internal/core"
+	"github.com/parres/picprk/internal/diffusion"
+	"github.com/parres/picprk/internal/dist"
+	"github.com/parres/picprk/internal/driver"
+	"github.com/parres/picprk/internal/grid"
+	"github.com/parres/picprk/internal/particle"
+)
+
+type scenario struct {
+	name  string
+	cfg   driver.Config
+	sched dist.Schedule
+}
+
+func scenarios(L, n, steps int) []scenario {
+	mesh := grid.MustMesh(L, grid.DefaultCharge)
+	base := driver.Config{Mesh: mesh, N: n, Steps: steps, Seed: 7, Verify: true}
+	mk := func(name string, mut func(*driver.Config)) scenario {
+		c := base
+		mut(&c)
+		return scenario{name: name, cfg: c}
+	}
+	out := []scenario{
+		mk("uniform", func(c *driver.Config) { c.Dist = dist.Uniform{} }),
+		mk("geometric", func(c *driver.Config) { c.Dist = dist.Geometric{R: 0.9} }),
+		mk("sinusoidal", func(c *driver.Config) { c.Dist = dist.Sinusoidal{} }),
+		mk("linear", func(c *driver.Config) { c.Dist = dist.Linear{Alpha: 1, Beta: 2} }),
+		mk("patch", func(c *driver.Config) { c.Dist = dist.Patch{X0: 2, X1: L / 2, Y0: 2, Y1: L / 2} }),
+		mk("fast-k2", func(c *driver.Config) { c.Dist = dist.Geometric{R: 0.9}; c.K = 2 }),
+		mk("vertical", func(c *driver.Config) { c.Dist = dist.Geometric{R: 0.9}; c.M = 3 }),
+		mk("leftward", func(c *driver.Config) { c.Dist = dist.Geometric{R: 0.9}; c.Dir = -1 }),
+	}
+	ev := base
+	ev.Dist = dist.Geometric{R: 0.9}
+	out = append(out, scenario{
+		name: "inject+remove",
+		cfg:  ev,
+		sched: dist.Schedule{
+			{Step: steps / 3, Region: dist.Rect{X0: 1, X1: L / 2, Y0: 1, Y1: L / 2}, Inject: n / 4, M: 1},
+			{Step: 2 * steps / 3, Region: dist.Rect{X0: 0, X1: L / 3, Y0: 0, Y1: L}, Remove: true},
+		},
+	})
+	return out
+}
+
+func main() {
+	var (
+		L     = flag.Int("L", 24, "domain size")
+		n     = flag.Int("n", 3000, "particles per scenario")
+		steps = flag.Int("steps", 48, "steps per scenario")
+		ranks = flag.String("p", "1,2,4,6", "comma-separated rank counts")
+	)
+	flag.Parse()
+
+	var ps []int
+	for _, tok := range splitComma(*ranks) {
+		var v int
+		if _, err := fmt.Sscanf(tok, "%d", &v); err != nil || v < 1 {
+			fmt.Fprintf(os.Stderr, "picverify: bad rank count %q\n", tok)
+			os.Exit(2)
+		}
+		ps = append(ps, v)
+	}
+
+	failures := 0
+	start := time.Now()
+	for _, sc := range scenarios(*L, *n, *steps) {
+		sc.cfg.Schedule = sc.sched
+		ref, err := reference(sc.cfg)
+		if err != nil {
+			fmt.Printf("FAIL %-14s sequential: %v\n", sc.name, err)
+			failures++
+			continue
+		}
+		for _, p := range ps {
+			failures += check(fmt.Sprintf("%-14s baseline  P=%d", sc.name, p), ref, func() (*driver.Result, error) {
+				return driver.RunBaseline(p, sc.cfg)
+			})
+			failures += check(fmt.Sprintf("%-14s diffusion P=%d", sc.name, p), ref, func() (*driver.Result, error) {
+				return driver.RunDiffusion(p, sc.cfg, diffusion.Params{Every: 7, Threshold: 0.05, Width: 1, MinWidth: 2})
+			})
+			failures += check(fmt.Sprintf("%-14s ampi      P=%d", sc.name, p), ref, func() (*driver.Result, error) {
+				return driver.RunAMPI(p, sc.cfg, driver.AMPIParams{Overdecompose: 4, Every: 10})
+			})
+		}
+	}
+	fmt.Printf("\npicverify: %d failures in %v\n", failures, time.Since(start).Round(time.Millisecond))
+	if failures > 0 {
+		os.Exit(1)
+	}
+}
+
+func reference(cfg driver.Config) ([]particle.Particle, error) {
+	sim, err := core.NewSimulation(dist.Config{
+		Mesh: cfg.Mesh, N: cfg.N, K: cfg.K, M: cfg.M, Dir: cfg.Dir, Dist: cfg.Dist, Seed: cfg.Seed,
+	}, cfg.Schedule)
+	if err != nil {
+		return nil, err
+	}
+	sim.Run(cfg.Steps)
+	if err := sim.Verify(0); err != nil {
+		return nil, err
+	}
+	ps := append([]particle.Particle(nil), sim.Particles...)
+	sortByID(ps)
+	return ps, nil
+}
+
+func check(label string, ref []particle.Particle, run func() (*driver.Result, error)) int {
+	res, err := run()
+	if err != nil {
+		fmt.Printf("FAIL %s: %v\n", label, err)
+		return 1
+	}
+	if !res.Verified {
+		fmt.Printf("FAIL %s: closed-form verification did not pass\n", label)
+		return 1
+	}
+	if len(res.Particles) != len(ref) {
+		fmt.Printf("FAIL %s: %d particles, sequential has %d\n", label, len(res.Particles), len(ref))
+		return 1
+	}
+	for i := range ref {
+		if res.Particles[i] != ref[i] {
+			fmt.Printf("FAIL %s: particle %d differs from sequential reference\n", label, ref[i].ID)
+			return 1
+		}
+	}
+	fmt.Printf("PASS %s\n", label)
+	return 0
+}
+
+func sortByID(ps []particle.Particle) {
+	for i := 1; i < len(ps); i++ {
+		for j := i; j > 0 && ps[j].ID < ps[j-1].ID; j-- {
+			ps[j], ps[j-1] = ps[j-1], ps[j]
+		}
+	}
+}
+
+func splitComma(s string) []string {
+	var out []string
+	cur := ""
+	for _, r := range s {
+		if r == ',' {
+			if cur != "" {
+				out = append(out, cur)
+			}
+			cur = ""
+		} else {
+			cur += string(r)
+		}
+	}
+	if cur != "" {
+		out = append(out, cur)
+	}
+	return out
+}

@@ -1,0 +1,63 @@
+// Injection burst: paper §III-E5 — particles injected abruptly into a
+// subregion mid-run ("category 2" load imbalance: local creation of work).
+// The example compares how the runtime-orchestrated AMPI balancer and the
+// static baseline absorb the burst, and shows that removal events are
+// verified just as rigorously.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/parres/picprk/internal/dist"
+	"github.com/parres/picprk/internal/driver"
+	"github.com/parres/picprk/internal/grid"
+)
+
+func main() {
+	const ranks = 4
+	mesh := grid.MustMesh(32, grid.DefaultCharge)
+
+	// A calm uniform workload ...
+	cfg := driver.Config{
+		Mesh:   mesh,
+		N:      20000,
+		Dist:   dist.Uniform{},
+		Seed:   3,
+		Steps:  300,
+		Verify: true,
+		// ... until step 100, when 60,000 particles appear in one quadrant,
+		// tripling the total and concentrating work on one rank. At step
+		// 200 a horizontal band is evacuated.
+		Schedule: dist.Schedule{
+			{Step: 100, Region: dist.Rect{X0: 0, X1: 16, Y0: 0, Y1: 16}, Inject: 60000, M: 1},
+			{Step: 200, Region: dist.Rect{X0: 0, X1: 32, Y0: 8, Y1: 16}, Remove: true},
+		},
+	}
+
+	fmt.Println("workload: uniform 20k particles; +60k injected into one quadrant at step 100;")
+	fmt.Println("          one horizontal band removed at step 200")
+
+	base, err := driver.RunBaseline(ranks, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	am, err := driver.RunAMPI(ranks, cfg, driver.AMPIParams{Overdecompose: 8, Every: 20})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\n%-28s %-12s %-12s\n", "", "mpi-2d", "ampi (d=8, F=20)")
+	fmt.Printf("%-28s %-12d %-12d\n", "final particles", base.FinalParticles, am.FinalParticles)
+	fmt.Printf("%-28s %-12d %-12d\n", "max particles/rank (final)", base.MaxFinalParticles, am.MaxFinalParticles)
+	fmt.Printf("%-28s %-12d %-12d\n", "max particles/rank (peak)", base.MaxParticlesHighWater(), am.MaxParticlesHighWater())
+	moves := 0
+	for _, s := range am.PerRank {
+		moves += s.Migrations
+	}
+	fmt.Printf("%-28s %-12d %-12d\n", "VP migrations", 0, moves)
+	fmt.Printf("%-28s %-12v %-12v\n", "verified", base.Verified, am.Verified)
+
+	fmt.Println("\nboth implementations verify exactly — the event schedule is part of the")
+	fmt.Println("closed-form prediction (which particles exist, and where) of paper §III-D")
+}

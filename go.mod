@@ -1,0 +1,3 @@
+module github.com/parres/picprk
+
+go 1.22

@@ -1,0 +1,376 @@
+package ampi
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"github.com/parres/picprk/internal/comm"
+	"github.com/parres/picprk/internal/pup"
+)
+
+// toyVP is a minimal migratable unit: an id plus a payload whose length is
+// its load.
+type toyVP struct {
+	id      int
+	payload []float64
+	gen     int
+}
+
+func (v *toyVP) VPID() int     { return v.id }
+func (v *toyVP) Load() float64 { return float64(len(v.payload)) }
+func (v *toyVP) PUP(p *pup.PUPer) {
+	p.Int(&v.id)
+	p.Int(&v.gen)
+	p.Float64s(&v.payload)
+}
+
+func newToy(id, load int) *toyVP {
+	payload := make([]float64, load)
+	for i := range payload {
+		payload[i] = float64(id*1000 + i)
+	}
+	return &toyVP{id: id, payload: payload}
+}
+
+func TestGreedyLBBalances(t *testing.T) {
+	loads := []float64{100, 1, 1, 1, 50, 50, 2, 3}
+	owner := []int{0, 0, 0, 0, 0, 0, 0, 0}
+	newOwner := GreedyLB{}.Plan(loads, owner, 4)
+	if len(newOwner) != 8 {
+		t.Fatalf("plan length %d", len(newOwner))
+	}
+	// The heaviest VP must sit alone-ish: max core load should be 100.
+	if m := MaxCoreLoad(loads, newOwner, 4); m != 100 {
+		t.Errorf("greedy max core load %v, want 100", m)
+	}
+}
+
+func TestGreedyLBDeterministicUnderTies(t *testing.T) {
+	loads := []float64{5, 5, 5, 5, 5, 5}
+	owner := make([]int, 6)
+	a := GreedyLB{}.Plan(loads, owner, 3)
+	b := GreedyLB{}.Plan(loads, owner, 3)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("greedy plan not deterministic")
+		}
+	}
+}
+
+func TestRefineLBImprovesWithoutFullReshuffle(t *testing.T) {
+	// Core 0 hosts everything; refine should shed load but touch few VPs.
+	n := 16
+	loads := make([]float64, n)
+	owner := make([]int, n)
+	for i := range loads {
+		loads[i] = float64(10 + i)
+	}
+	newOwner := RefineLB{}.Plan(loads, owner, 4)
+	before := MaxCoreLoad(loads, owner, 4)
+	after := MaxCoreLoad(loads, newOwner, 4)
+	if after >= before {
+		t.Fatalf("refine did not improve: %v -> %v", before, after)
+	}
+	var total float64
+	for _, l := range loads {
+		total += l
+	}
+	if after > total/4*1.3 {
+		t.Errorf("refine max load %v far from ideal %v", after, total/4)
+	}
+}
+
+func TestRefineLBKeepsBalancedPlacement(t *testing.T) {
+	loads := []float64{10, 10, 10, 10}
+	owner := []int{0, 1, 2, 3}
+	newOwner := RefineLB{}.Plan(loads, owner, 4)
+	if Moves(owner, newOwner) != 0 {
+		t.Errorf("refine moved VPs in a perfectly balanced placement: %v", newOwner)
+	}
+}
+
+func TestRefineLBRespectsMaxMoves(t *testing.T) {
+	n := 32
+	loads := make([]float64, n)
+	owner := make([]int, n)
+	for i := range loads {
+		loads[i] = 1
+	}
+	newOwner := RefineLB{MaxMoves: 3}.Plan(loads, owner, 8)
+	if m := Moves(owner, newOwner); m > 3 {
+		t.Errorf("refine made %d moves, cap was 3", m)
+	}
+}
+
+func TestRotateAndNull(t *testing.T) {
+	owner := []int{0, 1, 2}
+	if m := Moves(owner, (NullLB{}).Plan(nil, owner, 3)); m != 0 {
+		t.Errorf("null moved %d", m)
+	}
+	rot := (RotateLB{}).Plan(nil, owner, 3)
+	want := []int{1, 2, 0}
+	for i := range rot {
+		if rot[i] != want[i] {
+			t.Errorf("rotate = %v, want %v", rot, want)
+		}
+	}
+}
+
+func TestStrategiesProperty(t *testing.T) {
+	// Every strategy must return a valid owner vector and (for greedy and
+	// refine) never worsen the maximum core load.
+	f := func(rawLoads []uint16, ncoresRaw uint8) bool {
+		if len(rawLoads) == 0 {
+			return true
+		}
+		ncores := int(ncoresRaw%7) + 1
+		loads := make([]float64, len(rawLoads))
+		owner := make([]int, len(rawLoads))
+		for i, r := range rawLoads {
+			loads[i] = float64(r % 1000)
+			owner[i] = i % ncores
+		}
+		before := MaxCoreLoad(loads, owner, ncores)
+		var total, maxItem float64
+		for _, l := range loads {
+			total += l
+			if l > maxItem {
+				maxItem = l
+			}
+		}
+		// List-scheduling guarantee: when the last VP lands on the least
+		// loaded core, that core held at most the average, so the makespan
+		// is bounded by avg + maxItem. (The tighter 4/3·OPT bound needs the
+		// NP-hard OPT.)
+		bound := total/float64(ncores) + maxItem
+		h := &HintedGreedyLB{}
+		h.SetTopology(GridNeighbors(len(loads), 1), 2)
+		for _, s := range []Strategy{NullLB{}, RotateLB{}, GreedyLB{}, RefineLB{}, WorkStealLB{}, h} {
+			got := s.Plan(loads, owner, ncores)
+			if len(got) != len(owner) {
+				return false
+			}
+			for _, c := range got {
+				if c < 0 || c >= ncores {
+					return false
+				}
+			}
+			switch s.(type) {
+			case RefineLB, WorkStealLB:
+				// Incremental strategies never worsen the maximum.
+				if MaxCoreLoad(loads, got, ncores) > before+1e-9 {
+					return false
+				}
+			case GreedyLB:
+				if MaxCoreLoad(loads, got, ncores) > bound+1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func runtimeWorld(t *testing.T, p, nvp int, fn func(rt *Runtime, c *comm.Comm) error) {
+	t.Helper()
+	w := comm.NewWorld(p)
+	err := w.Run(func(c *comm.Comm) error {
+		place := func(vp int) int { return vp % p }
+		rt, err := NewRuntime(c, nvp,
+			place,
+			func(vp int) VP { return newToy(vp, (vp+1)*10) },
+			func() VP { return &toyVP{} })
+		if err != nil {
+			return err
+		}
+		return fn(rt, c)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRuntimeInitialPlacement(t *testing.T) {
+	runtimeWorld(t, 4, 16, func(rt *Runtime, c *comm.Comm) error {
+		ids := rt.LocalIDs()
+		if len(ids) != 4 {
+			return fmt.Errorf("core %d hosts %d VPs", c.Rank(), len(ids))
+		}
+		for _, id := range ids {
+			if id%4 != c.Rank() {
+				return fmt.Errorf("VP %d on wrong core %d", id, c.Rank())
+			}
+			if rt.Local(id) == nil || rt.Location(id) != c.Rank() {
+				return fmt.Errorf("inconsistent tables for VP %d", id)
+			}
+		}
+		return nil
+	})
+}
+
+func TestRuntimeMigrationPreservesState(t *testing.T) {
+	runtimeWorld(t, 3, 9, func(rt *Runtime, c *comm.Comm) error {
+		// Mutate local VPs so migrated state is distinguishable from
+		// freshly-built state.
+		rt.ForEach(func(vp VP) { vp.(*toyVP).gen = 7 })
+		moves, err := rt.LoadBalance(RotateLB{})
+		if err != nil {
+			return err
+		}
+		if moves != 9 {
+			return fmt.Errorf("rotate moved %d of 9", moves)
+		}
+		// Every core still hosts 3 VPs, now the previous core's set, with
+		// mutated state intact.
+		ids := rt.LocalIDs()
+		if len(ids) != 3 {
+			return fmt.Errorf("core %d hosts %d after rotate", c.Rank(), len(ids))
+		}
+		prev := (c.Rank() - 1 + 3) % 3
+		for _, id := range ids {
+			if id%3 != prev {
+				return fmt.Errorf("VP %d should not be on core %d", id, c.Rank())
+			}
+			v := rt.Local(id).(*toyVP)
+			if v.gen != 7 {
+				return fmt.Errorf("VP %d lost state in migration", id)
+			}
+			if len(v.payload) != (id+1)*10 || v.payload[0] != float64(id*1000) {
+				return fmt.Errorf("VP %d payload corrupted", id)
+			}
+		}
+		if rt.Stats.VPsSent != 3 || rt.Stats.VPsReceived != 3 || rt.Stats.LBInvocations != 1 {
+			return fmt.Errorf("stats %+v", rt.Stats)
+		}
+		return nil
+	})
+}
+
+func TestRuntimeGreedyConvergesLoad(t *testing.T) {
+	// All load initially concentrated modulo placement; greedy must spread
+	// it so cores end up within 2x of ideal.
+	const P, NVP = 4, 32
+	w := comm.NewWorld(P)
+	err := w.Run(func(c *comm.Comm) error {
+		rt, err := NewRuntime(c, NVP,
+			func(vp int) int { return 0 }, // everything starts on core 0
+			func(vp int) VP { return newToy(vp, 10+vp) },
+			func() VP { return &toyVP{} })
+		if err != nil {
+			return err
+		}
+		if _, err := rt.LoadBalance(GreedyLB{}); err != nil {
+			return err
+		}
+		var local float64
+		rt.ForEach(func(vp VP) { local += vp.Load() })
+		max := comm.AllreduceScalar(c, local, comm.Max[float64])
+		var total float64
+		for vp := 0; vp < NVP; vp++ {
+			total += float64(10 + vp)
+		}
+		if max > total/P*1.5 {
+			return fmt.Errorf("max core load %v after greedy, ideal %v", max, total/P)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRuntimeRepeatedLBRounds(t *testing.T) {
+	runtimeWorld(t, 4, 16, func(rt *Runtime, c *comm.Comm) error {
+		for round := 0; round < 10; round++ {
+			if _, err := rt.LoadBalance(RotateLB{}); err != nil {
+				return err
+			}
+			// Location table must stay globally consistent: the sum of
+			// local VP counts is NVP and sorted local ids match the table.
+			n := comm.AllreduceScalar(c, len(rt.LocalIDs()), comm.Sum[int])
+			if n != 16 {
+				return fmt.Errorf("round %d: %d VPs total", round, n)
+			}
+			for _, id := range rt.LocalIDs() {
+				if rt.Location(id) != c.Rank() {
+					return fmt.Errorf("round %d: table disagrees for VP %d", round, id)
+				}
+			}
+		}
+		return nil
+	})
+}
+
+func TestBlockPlacement(t *testing.T) {
+	place, err := BlockPlacement(8, 4, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// VP grid 8x4 on core grid 4x2: blocks of 2x2 VPs per core.
+	counts := map[int]int{}
+	for vp := 0; vp < 32; vp++ {
+		counts[place(vp)]++
+	}
+	if len(counts) != 8 {
+		t.Fatalf("placement uses %d cores", len(counts))
+	}
+	for c, n := range counts {
+		if n != 4 {
+			t.Errorf("core %d hosts %d VPs", c, n)
+		}
+	}
+	// Compactness: VPs 0,1 (adjacent in x) share a core; 0 and 2 do not.
+	if place(0) != place(1) || place(0) == place(2) {
+		t.Errorf("placement not blocked: %d %d %d", place(0), place(1), place(2))
+	}
+	if _, err := BlockPlacement(7, 4, 4, 2); err == nil {
+		t.Error("indivisible grid accepted")
+	}
+}
+
+func TestMaxCoreLoadAndMoves(t *testing.T) {
+	loads := []float64{1, 2, 3}
+	owner := []int{0, 0, 1}
+	if m := MaxCoreLoad(loads, owner, 2); m != 3 {
+		t.Errorf("MaxCoreLoad = %v", m)
+	}
+	if m := Moves([]int{0, 1, 2}, []int{0, 2, 2}); m != 1 {
+		t.Errorf("Moves = %d", m)
+	}
+}
+
+func TestRefineHalvesGap(t *testing.T) {
+	// Two cores, gap 100, one VP of load 50 on the heavy core: refine
+	// should move exactly that VP and equalize.
+	loads := []float64{50, 25, 25, 50}
+	owner := []int{0, 0, 0, 1}
+	newOwner := RefineLB{}.Plan(loads, owner, 2)
+	after := MaxCoreLoad(loads, newOwner, 2)
+	if math.Abs(after-75) > 1e-9 {
+		t.Errorf("refine max %v, want 75", after)
+	}
+	if Moves(owner, newOwner) > 2 {
+		t.Errorf("refine used %d moves", Moves(owner, newOwner))
+	}
+}
+
+func TestLocalIDsSorted(t *testing.T) {
+	runtimeWorld(t, 2, 10, func(rt *Runtime, c *comm.Comm) error {
+		ids := rt.LocalIDs()
+		if !sort.IntsAreSorted(ids) {
+			return fmt.Errorf("ids not sorted: %v", ids)
+		}
+		order := []int{}
+		rt.ForEach(func(vp VP) { order = append(order, vp.VPID()) })
+		if !sort.IntsAreSorted(order) {
+			return fmt.Errorf("ForEach order not sorted: %v", order)
+		}
+		return nil
+	})
+}

@@ -1,0 +1,32 @@
+package ampi_test
+
+import (
+	"fmt"
+
+	"github.com/parres/picprk/internal/ampi"
+)
+
+// ExampleGreedyLB plans a new VP placement from measured loads: the two
+// heavy VPs end up on separate cores.
+func ExampleGreedyLB() {
+	loads := []float64{90, 80, 10, 10, 5, 5}
+	owner := []int{0, 0, 0, 0, 0, 0} // everything piled on core 0
+	plan := ampi.GreedyLB{}.Plan(loads, owner, 2)
+	fmt.Println("VPs moved:", ampi.Moves(owner, plan))
+	fmt.Println("max core load:", ampi.MaxCoreLoad(loads, plan, 2))
+	// Output:
+	// VPs moved: 4
+	// max core load: 100
+}
+
+// ExampleFragmentation scores how badly a placement scatters neighboring
+// VPs across nodes.
+func ExampleFragmentation() {
+	nbs := ampi.GridNeighbors(4, 2)
+	compact := []int{0, 0, 1, 1, 0, 0, 1, 1}   // two cores = two nodes, block split
+	scattered := []int{0, 1, 0, 1, 1, 0, 1, 0} // alternating
+	fmt.Printf("compact: %.2f scattered: %.2f\n",
+		ampi.Fragmentation(nbs, compact, 1, 2),
+		ampi.Fragmentation(nbs, scattered, 1, 2))
+	// Output: compact: 0.25 scattered: 1.00
+}

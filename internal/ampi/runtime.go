@@ -1,0 +1,192 @@
+package ampi
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/parres/picprk/internal/comm"
+	"github.com/parres/picprk/internal/pup"
+)
+
+// VP is one virtual processor: a migratable unit of work and data. The
+// application defines the concrete type; the runtime only needs its
+// identity, its measured load, and the ability to PUP its entire state.
+type VP interface {
+	// VPID returns the VP's global id in [0, NumVPs).
+	VPID() int
+	// Load returns the measured load of the most recent steps (for the PIC
+	// PRK: the particle count, which is exactly proportional to work).
+	Load() float64
+	pup.PUPable
+}
+
+// tagMigrateBase starts the tag range used for VP migration; VP id is added
+// so every in-flight VP has a distinct (src, tag) stream.
+const tagMigrateBase = 1 << 20
+
+// Runtime hosts the VPs assigned to one core and coordinates collective
+// load balancing with the other cores of the communicator. Methods must be
+// called SPMD-style: LoadBalance is collective.
+type Runtime struct {
+	c       *comm.Comm
+	nvp     int
+	factory func() VP
+	// location[vp] is the core currently hosting vp; identical on all
+	// cores (updated in lockstep by LoadBalance).
+	location []int
+	local    map[int]VP
+
+	// Stats accumulates migration counters for this core.
+	Stats Stats
+}
+
+// Stats counts migration activity on one core.
+type Stats struct {
+	// LBInvocations is the number of LoadBalance calls.
+	LBInvocations int
+	// VPsSent and VPsReceived count migrations from/to this core.
+	VPsSent, VPsReceived int
+	// BytesSent and BytesReceived count PUP payload volume.
+	BytesSent, BytesReceived int64
+}
+
+// NewRuntime creates the runtime on one core. nvp is the global VP count;
+// place maps each VP to its initial core; makeLocal constructs the initial
+// state of a VP this core owns; factory constructs an empty VP shell for
+// unpacking a migrated one.
+func NewRuntime(c *comm.Comm, nvp int, place func(vp int) int, makeLocal func(vp int) VP, factory func() VP) (*Runtime, error) {
+	if nvp <= 0 {
+		return nil, fmt.Errorf("ampi: need at least one VP, got %d", nvp)
+	}
+	rt := &Runtime{
+		c:        c,
+		nvp:      nvp,
+		factory:  factory,
+		location: make([]int, nvp),
+		local:    make(map[int]VP),
+	}
+	for vp := 0; vp < nvp; vp++ {
+		core := place(vp)
+		if core < 0 || core >= c.Size() {
+			return nil, fmt.Errorf("ampi: VP %d placed on invalid core %d", vp, core)
+		}
+		rt.location[vp] = core
+		if core == c.Rank() {
+			v := makeLocal(vp)
+			if v.VPID() != vp {
+				return nil, fmt.Errorf("ampi: makeLocal(%d) returned VP with id %d", vp, v.VPID())
+			}
+			rt.local[vp] = v
+		}
+	}
+	return rt, nil
+}
+
+// NumVPs returns the global VP count.
+func (rt *Runtime) NumVPs() int { return rt.nvp }
+
+// Location returns the core currently hosting a VP.
+func (rt *Runtime) Location(vp int) int { return rt.location[vp] }
+
+// Local returns the locally-hosted VP with the given id, or nil.
+func (rt *Runtime) Local(vp int) VP { return rt.local[vp] }
+
+// LocalIDs returns the ids of locally-hosted VPs in ascending order.
+func (rt *Runtime) LocalIDs() []int {
+	ids := make([]int, 0, len(rt.local))
+	for id := range rt.local {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// ForEach invokes fn on every local VP in ascending id order (the
+// deterministic stand-in for the Charm++ scheduler's VP execution loop).
+func (rt *Runtime) ForEach(fn func(vp VP)) {
+	for _, id := range rt.LocalIDs() {
+		fn(rt.local[id])
+	}
+}
+
+// LoadBalance is the collective rebalancing step (the analogue of AMPI's
+// MPI_Migrate): all cores reduce per-VP loads, run the strategy, and
+// migrate VPs whose owner changed, PUP-serialized over the communicator.
+// It returns the number of VPs that moved globally.
+func (rt *Runtime) LoadBalance(s Strategy) (int, error) {
+	rt.Stats.LBInvocations++
+	loads := make([]float64, rt.nvp)
+	for id, vp := range rt.local {
+		loads[id] = vp.Load()
+	}
+	global := comm.Allreduce(rt.c, loads, comm.Sum[float64])
+	newOwner := s.Plan(global, rt.location, rt.c.Size())
+	if len(newOwner) != rt.nvp {
+		return 0, fmt.Errorf("ampi: strategy %s returned %d owners for %d VPs", s.Name(), len(newOwner), rt.nvp)
+	}
+	me := rt.c.Rank()
+
+	// Send departures first (sends never block), then collect arrivals.
+	moves := 0
+	for vp := 0; vp < rt.nvp; vp++ {
+		from, to := rt.location[vp], newOwner[vp]
+		if from == to {
+			continue
+		}
+		moves++
+		if to < 0 || to >= rt.c.Size() {
+			return 0, fmt.Errorf("ampi: strategy %s moved VP %d to invalid core %d", s.Name(), vp, to)
+		}
+		if from == me {
+			v, ok := rt.local[vp]
+			if !ok {
+				return 0, fmt.Errorf("ampi: location table says VP %d is here but it is not", vp)
+			}
+			buf, err := pup.Pack(v)
+			if err != nil {
+				return 0, fmt.Errorf("ampi: packing VP %d: %w", vp, err)
+			}
+			rt.c.Send(to, tagMigrateBase+vp, buf)
+			delete(rt.local, vp)
+			rt.Stats.VPsSent++
+			rt.Stats.BytesSent += int64(len(buf))
+		}
+	}
+	for vp := 0; vp < rt.nvp; vp++ {
+		from, to := rt.location[vp], newOwner[vp]
+		if from == to || to != me {
+			continue
+		}
+		data, _ := rt.c.Recv(from, tagMigrateBase+vp)
+		buf := data.([]byte)
+		v := rt.factory()
+		if err := pup.Unpack(v, buf); err != nil {
+			return 0, fmt.Errorf("ampi: unpacking VP %d: %w", vp, err)
+		}
+		if v.VPID() != vp {
+			return 0, fmt.Errorf("ampi: migration stream mismatch: expected VP %d, got %d", vp, v.VPID())
+		}
+		rt.local[vp] = v
+		rt.Stats.VPsReceived++
+		rt.Stats.BytesReceived += int64(len(buf))
+	}
+	rt.location = newOwner
+	return moves, nil
+}
+
+// BlockPlacement returns an initial VP placement that keeps each core's
+// subdomains compact: VPs laid out on a vx×vy grid are assigned to cores on
+// a px×py grid by spatial blocks, matching the paper's assumption that "the
+// initial assignment of VPs to cores is such that the corresponding
+// underlying subdomains of cores are compact" (§V-B). vx must be a multiple
+// of px and vy of py.
+func BlockPlacement(vx, vy, px, py int) (func(vp int) int, error) {
+	if vx%px != 0 || vy%py != 0 {
+		return nil, fmt.Errorf("ampi: VP grid %dx%d not divisible by core grid %dx%d", vx, vy, px, py)
+	}
+	bx, by := vx/px, vy/py
+	return func(vp int) int {
+		gx, gy := vp%vx, vp/vx
+		return (gy/by)*px + gx/bx
+	}, nil
+}

@@ -1,0 +1,79 @@
+package ampi
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestWorkStealMovesWorkToHungryCores(t *testing.T) {
+	// Core 0 has everything; cores 1-3 are empty and must each steal.
+	loads := []float64{40, 30, 20, 10, 5, 5}
+	owner := []int{0, 0, 0, 0, 0, 0}
+	got := WorkStealLB{}.Plan(loads, owner, 4)
+	after := MaxCoreLoad(loads, got, 4)
+	if after >= MaxCoreLoad(loads, owner, 4) {
+		t.Fatalf("steal did not reduce max load: %v", after)
+	}
+	if Moves(owner, got) == 0 {
+		t.Fatal("no VP stolen")
+	}
+	// Bounded disruption: at most one steal per hungry core.
+	if m := Moves(owner, got); m > 3 {
+		t.Errorf("work stealing moved %d VPs for 3 hungry cores", m)
+	}
+}
+
+func TestWorkStealIdleWhenBalanced(t *testing.T) {
+	loads := []float64{10, 10, 10, 10}
+	owner := []int{0, 1, 2, 3}
+	got := WorkStealLB{}.Plan(loads, owner, 4)
+	if Moves(owner, got) != 0 {
+		t.Errorf("stole from a balanced system: %v", got)
+	}
+}
+
+func TestWorkStealNeverWorsensMax(t *testing.T) {
+	f := func(raw []uint16, ncoresRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		ncores := int(ncoresRaw%7) + 1
+		loads := make([]float64, len(raw))
+		owner := make([]int, len(raw))
+		for i, r := range raw {
+			loads[i] = float64(r % 500)
+			owner[i] = (i * i) % ncores
+		}
+		before := MaxCoreLoad(loads, owner, ncores)
+		got := WorkStealLB{}.Plan(loads, owner, ncores)
+		for _, c := range got {
+			if c < 0 || c >= ncores {
+				return false
+			}
+		}
+		return MaxCoreLoad(loads, got, ncores) <= before+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWorkStealConvergesOverRounds(t *testing.T) {
+	// Repeated invocations (as a driver would make every F steps) must
+	// bring the system near balance.
+	n := 64
+	loads := make([]float64, n)
+	owner := make([]int, n)
+	var total float64
+	for i := range loads {
+		loads[i] = float64(1 + i%9)
+		total += loads[i]
+	}
+	const ncores = 8
+	for round := 0; round < 50; round++ {
+		owner = WorkStealLB{}.Plan(loads, owner, ncores)
+	}
+	if mx := MaxCoreLoad(loads, owner, ncores); mx > total/ncores*1.5 {
+		t.Errorf("after 50 rounds max load %v vs ideal %v", mx, total/ncores)
+	}
+}

@@ -1,0 +1,61 @@
+package comm
+
+import "fmt"
+
+// Dims2D factors p into a near-square grid px×py with px >= py, preferring
+// the divisor pair closest to √p. This mirrors MPI_Dims_create for two
+// dimensions and is what the drivers use to lay out the processor grid.
+func Dims2D(p int) (px, py int) {
+	if p <= 0 {
+		panic(fmt.Sprintf("comm: Dims2D of non-positive %d", p))
+	}
+	best := 1
+	for d := 1; d*d <= p; d++ {
+		if p%d == 0 {
+			best = d
+		}
+	}
+	return p / best, best
+}
+
+// Cart2D is a two-dimensional Cartesian view of a communicator, with the
+// x coordinate varying fastest (rank = py*PX... see RankOf). It also carries
+// row and column subcommunicators, which the diffusion load balancer uses
+// for its per-column and per-row reductions.
+type Cart2D struct {
+	Comm   *Comm
+	PX, PY int
+	// CX, CY are this rank's grid coordinates.
+	CX, CY int
+	// Row contains the ranks with equal CY, ordered by CX.
+	// Col contains the ranks with equal CX, ordered by CY.
+	Row, Col *Comm
+}
+
+// NewCart2D arranges the communicator's ranks in a px×py grid. px*py must
+// equal the communicator size. Rank r maps to coordinates
+// (r mod px, r div px).
+func NewCart2D(c *Comm, px, py int) *Cart2D {
+	if px*py != c.Size() {
+		panic(fmt.Sprintf("comm: cart %dx%d != size %d", px, py, c.Size()))
+	}
+	cx := c.Rank() % px
+	cy := c.Rank() / px
+	cart := &Cart2D{Comm: c, PX: px, PY: py, CX: cx, CY: cy}
+	cart.Row = c.Split(cy, cx)
+	cart.Col = c.Split(cx, cy)
+	return cart
+}
+
+// RankOf returns the communicator rank at grid coordinates (cx, cy),
+// wrapping periodically in both directions.
+func (g *Cart2D) RankOf(cx, cy int) int {
+	cx = ((cx % g.PX) + g.PX) % g.PX
+	cy = ((cy % g.PY) + g.PY) % g.PY
+	return cy*g.PX + cx
+}
+
+// Coords returns the grid coordinates of a communicator rank.
+func (g *Cart2D) Coords(rank int) (cx, cy int) {
+	return rank % g.PX, rank / g.PX
+}

@@ -1,0 +1,290 @@
+// Package comm is a message-passing runtime in the spirit of MPI, built on
+// goroutines and in-process mailboxes. Each rank runs as a goroutine; ranks
+// exchange two-sided messages matched on (communicator, source, tag) with
+// wildcard-source receives, and the package layers collectives (barrier,
+// broadcast, reduce, allreduce, gather, allgather, sparse all-to-all),
+// communicator splitting, and Cartesian topologies on top.
+//
+// The paper's three reference implementations are written in MPI; this
+// package reproduces the programming model so the drivers in
+// internal/driver read like their MPI counterparts.
+//
+// Error handling follows MPI's abort semantics: protocol misuse (bad rank,
+// type mismatch, receive after abort) panics inside the rank goroutine;
+// World.Run recovers panics, aborts every other rank, and returns the first
+// failure as an error.
+package comm
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// AnySource is the wildcard source rank for Recv.
+const AnySource = -1
+
+// message is one in-flight message.
+type message struct {
+	ctx  uint64
+	src  int // world rank of sender, translated to comm rank on receipt
+	tag  int
+	data any
+}
+
+// inbox is a rank's mailbox: a mutex-guarded pending list with condition
+// variable wakeups. Matching preserves MPI's non-overtaking guarantee:
+// between one (src, tag, ctx) pair, messages are received in send order.
+type inbox struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	pending []message
+}
+
+func newInbox() *inbox {
+	ib := &inbox{}
+	ib.cond = sync.NewCond(&ib.mu)
+	return ib
+}
+
+// World owns the ranks and shared state of one SPMD execution.
+type World struct {
+	size    int
+	inboxes []*inbox
+	opts    Options
+
+	mu       sync.Mutex
+	aborted  bool
+	abortErr error
+}
+
+// Options configures a World.
+type Options struct {
+	// RecvTimeout bounds how long a Recv may block; on expiry the rank
+	// panics with a diagnostic, which surfaces as an error from Run. Zero
+	// means a generous default (60s) to turn deadlocks into diagnosable
+	// failures; negative disables the timeout.
+	RecvTimeout time.Duration
+	// ChaosDelay, when positive, sleeps each message delivery by a random
+	// duration in [0, ChaosDelay). Used by tests to shake out ordering
+	// assumptions in drivers.
+	ChaosDelay time.Duration
+	// ChaosSeed seeds the chaos delay generator.
+	ChaosSeed int64
+}
+
+// NewWorld creates a world with the given number of ranks.
+func NewWorld(size int, opts ...Options) *World {
+	if size <= 0 {
+		panic(fmt.Sprintf("comm: world size must be positive, got %d", size))
+	}
+	var o Options
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	if o.RecvTimeout == 0 {
+		o.RecvTimeout = 60 * time.Second
+	}
+	w := &World{size: size, opts: o}
+	w.inboxes = make([]*inbox, size)
+	for i := range w.inboxes {
+		w.inboxes[i] = newInbox()
+	}
+	return w
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.size }
+
+// Run executes fn once per rank, each in its own goroutine, and waits for
+// all of them. The first panic or returned error aborts the world (waking
+// any blocked receives) and is returned.
+func (w *World) Run(fn func(c *Comm) error) error {
+	// A single watchdog periodically wakes every blocked receiver so it can
+	// check its deadline and the abort flag; this keeps the Recv hot path
+	// free of timers.
+	stopWatchdog := make(chan struct{})
+	if w.opts.RecvTimeout > 0 {
+		go func() {
+			t := time.NewTicker(100 * time.Millisecond)
+			defer t.Stop()
+			for {
+				select {
+				case <-stopWatchdog:
+					return
+				case <-t.C:
+					for _, ib := range w.inboxes {
+						ib.mu.Lock()
+						ib.cond.Broadcast()
+						ib.mu.Unlock()
+					}
+				}
+			}
+		}()
+	}
+	defer close(stopWatchdog)
+
+	var wg sync.WaitGroup
+	wg.Add(w.size)
+	for r := 0; r < w.size; r++ {
+		c := w.comm(r)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					w.abort(fmt.Errorf("comm: rank %d panicked: %v", c.rank, p))
+				}
+			}()
+			if err := fn(c); err != nil {
+				w.abort(fmt.Errorf("comm: rank %d: %w", c.rank, err))
+			}
+		}()
+	}
+	wg.Wait()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.abortErr
+}
+
+// comm builds the world communicator view for one rank.
+func (w *World) comm(rank int) *Comm {
+	group := make([]int, w.size)
+	for i := range group {
+		group[i] = i
+	}
+	var chaos *rand.Rand
+	if w.opts.ChaosDelay > 0 {
+		chaos = rand.New(rand.NewSource(w.opts.ChaosSeed + int64(rank)))
+	}
+	return &Comm{world: w, rank: rank, group: group, ctx: 0, chaos: chaos}
+}
+
+// abort records the first error and wakes all blocked receivers.
+func (w *World) abort(err error) {
+	w.mu.Lock()
+	if !w.aborted {
+		w.aborted = true
+		w.abortErr = err
+	}
+	w.mu.Unlock()
+	for _, ib := range w.inboxes {
+		ib.mu.Lock()
+		ib.cond.Broadcast()
+		ib.mu.Unlock()
+	}
+}
+
+func (w *World) isAborted() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.aborted
+}
+
+// Comm is one rank's handle on a communicator: the world communicator from
+// Run, or a subcommunicator from Split. Methods are safe to call only from
+// the owning rank's goroutine (as in MPI).
+type Comm struct {
+	world     *World
+	rank      int   // rank within this communicator
+	group     []int // world ranks of the members, indexed by comm rank
+	ctx       uint64
+	splits    uint64
+	sparseSeq uint64
+	gatherSeq uint64
+	chaos     *rand.Rand
+}
+
+// Rank returns the caller's rank within the communicator.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the number of ranks in the communicator.
+func (c *Comm) Size() int { return len(c.group) }
+
+// WorldRank returns the caller's rank in the world communicator.
+func (c *Comm) WorldRank() int { return c.group[c.rank] }
+
+// Send delivers data to rank dst of this communicator with the given tag.
+// Send is asynchronous and never blocks (buffered, like MPI_Isend with an
+// unbounded buffer). Ownership of reference-typed data transfers to the
+// receiver: the sender must not mutate it afterwards.
+func (c *Comm) Send(dst, tag int, data any) {
+	if dst < 0 || dst >= len(c.group) {
+		panic(fmt.Sprintf("comm: send to invalid rank %d (size %d)", dst, len(c.group)))
+	}
+	if c.chaos != nil {
+		d := time.Duration(c.chaos.Int63n(int64(c.world.opts.ChaosDelay)))
+		go func() {
+			time.Sleep(d)
+			c.deliver(dst, tag, data)
+		}()
+		return
+	}
+	c.deliver(dst, tag, data)
+}
+
+func (c *Comm) deliver(dst, tag int, data any) {
+	ib := c.world.inboxes[c.group[dst]]
+	ib.mu.Lock()
+	ib.pending = append(ib.pending, message{ctx: c.ctx, src: c.group[c.rank], tag: tag, data: data})
+	ib.cond.Broadcast()
+	ib.mu.Unlock()
+}
+
+// Recv blocks until a message with a matching source and tag arrives on
+// this communicator and returns its payload and actual source rank. Pass
+// AnySource to match any sender. Within one (source, tag) pair, messages
+// arrive in send order.
+func (c *Comm) Recv(src, tag int) (any, int) {
+	if src != AnySource && (src < 0 || src >= len(c.group)) {
+		panic(fmt.Sprintf("comm: recv from invalid rank %d (size %d)", src, len(c.group)))
+	}
+	ib := c.world.inboxes[c.group[c.rank]]
+	deadline := time.Time{}
+	if c.world.opts.RecvTimeout > 0 {
+		deadline = time.Now().Add(c.world.opts.RecvTimeout)
+	}
+	ib.mu.Lock()
+	defer ib.mu.Unlock()
+	for {
+		if c.world.isAborted() {
+			panic("comm: world aborted while receiving")
+		}
+		for i := range ib.pending {
+			m := &ib.pending[i]
+			if m.ctx != c.ctx || m.tag != tag {
+				continue
+			}
+			srcRank := c.rankOfWorld(m.src)
+			if srcRank < 0 {
+				continue // message from outside this communicator's group
+			}
+			if src != AnySource && srcRank != src {
+				continue
+			}
+			data := m.data
+			ib.pending = append(ib.pending[:i], ib.pending[i+1:]...)
+			return data, srcRank
+		}
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			panic(fmt.Sprintf("comm: rank %d recv(src=%d, tag=%d, ctx=%d) timed out after %v",
+				c.rank, src, tag, c.ctx, c.world.opts.RecvTimeout))
+		}
+		ib.cond.Wait()
+	}
+}
+
+// rankOfWorld translates a world rank to this communicator's rank, or -1.
+func (c *Comm) rankOfWorld(wr int) int {
+	// group is small and this is on the receive path; for the world
+	// communicator group[i] == i so the common case is O(1).
+	if wr < len(c.group) && c.group[wr] == wr {
+		return wr
+	}
+	for i, g := range c.group {
+		if g == wr {
+			return i
+		}
+	}
+	return -1
+}

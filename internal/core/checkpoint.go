@@ -1,0 +1,54 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/parres/picprk/internal/particle"
+	"github.com/parres/picprk/internal/pup"
+)
+
+// checkpointMagic guards against restoring unrelated buffers.
+const checkpointMagic uint64 = 0x50494350524b4331 // "PICPRKC1"
+
+// simState adapts the simulation's dynamic state to the PUP framework. The
+// static configuration (mesh, distribution, schedule, seed) is not part of
+// the checkpoint: the caller reconstructs the simulation from the same
+// config and restores the dynamic state into it, mirroring how the PRK's
+// initialization is replayable by construction.
+type simState struct{ s *Simulation }
+
+// PUP implements pup.PUPable.
+func (st simState) PUP(p *pup.PUPer) {
+	magic := checkpointMagic
+	p.Uint64(&magic)
+	if p.Mode() == pup.Unpacking && magic != checkpointMagic {
+		p.Fail(fmt.Errorf("core: not a PIC PRK checkpoint (magic %#x)", magic))
+		return
+	}
+	p.Int(&st.s.step)
+	p.Uint64(&st.s.nextID)
+	meshL := st.s.Mesh.L
+	p.Int(&meshL)
+	if p.Mode() == pup.Unpacking && meshL != st.s.Mesh.L {
+		p.Fail(fmt.Errorf("core: checkpoint is for L=%d, simulation has L=%d", meshL, st.s.Mesh.L))
+		return
+	}
+	pup.Slice(p, &st.s.Particles, func(p *pup.PUPer, e *particle.Particle) { e.PUP(p) })
+	pup.Slice(p, &st.s.Removed, func(p *pup.PUPer, e *uint64) { p.Uint64(e) })
+}
+
+// Checkpoint serializes the simulation's dynamic state — particles, step
+// counter, injection ID cursor, and removal record — so a run can be
+// suspended and resumed. The configuration is not included; Restore must be
+// called on a simulation built with the identical config and schedule.
+func (s *Simulation) Checkpoint() ([]byte, error) {
+	return pup.Pack(simState{s})
+}
+
+// Restore replaces the simulation's dynamic state with a checkpoint
+// produced by Checkpoint. The receiving simulation must have been built
+// with the same configuration; the mesh size is validated, and resumed runs
+// are bitwise identical to uninterrupted ones (asserted by tests).
+func (s *Simulation) Restore(buf []byte) error {
+	return pup.Unpack(simState{s}, buf)
+}

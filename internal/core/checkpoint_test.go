@@ -1,0 +1,92 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/parres/picprk/internal/dist"
+)
+
+func TestCheckpointResumeBitwiseIdentical(t *testing.T) {
+	cfg := dist.Config{Mesh: mesh(t, 32), N: 3000, K: 1, M: 2, Dist: dist.Geometric{R: 0.9}, Seed: 11}
+	sched := dist.Schedule{
+		{Step: 40, Region: dist.Rect{X0: 4, X1: 28, Y0: 4, Y1: 28}, Inject: 500, M: 1},
+		{Step: 70, Region: dist.Rect{X0: 0, X1: 16, Y0: 0, Y1: 32}, Remove: true},
+	}
+	// Uninterrupted run.
+	ref, err := NewSimulation(cfg, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref.Run(100)
+
+	// Interrupted at step 55 (after the injection, before the removal).
+	a, err := NewSimulation(cfg, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Run(55)
+	ckpt, err := a.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	b, err := NewSimulation(cfg, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Restore(ckpt); err != nil {
+		t.Fatal(err)
+	}
+	if b.Steps() != 55 || b.NextID() != a.NextID() {
+		t.Fatalf("restored step=%d nextID=%d, want 55/%d", b.Steps(), b.NextID(), a.NextID())
+	}
+	b.Run(45)
+
+	if len(b.Particles) != len(ref.Particles) {
+		t.Fatalf("resumed run has %d particles, reference %d", len(b.Particles), len(ref.Particles))
+	}
+	for i := range ref.Particles {
+		if b.Particles[i] != ref.Particles[i] {
+			t.Fatalf("particle %d differs after resume", ref.Particles[i].ID)
+		}
+	}
+	if err := b.Verify(0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRestoreRejectsGarbage(t *testing.T) {
+	sim := newSim(t, 16, 100, 0, 0, nil, nil)
+	if err := sim.Restore([]byte("definitely not a checkpoint")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if err := sim.Restore(nil); err == nil {
+		t.Error("empty buffer accepted")
+	}
+}
+
+func TestRestoreRejectsWrongMesh(t *testing.T) {
+	a := newSim(t, 16, 100, 0, 0, nil, nil)
+	a.Run(3)
+	ckpt, err := a.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := newSim(t, 32, 100, 0, 0, nil, nil)
+	if err := b.Restore(ckpt); err == nil {
+		t.Error("checkpoint restored into a different domain size")
+	}
+}
+
+func TestRestoreRejectsTruncated(t *testing.T) {
+	a := newSim(t, 16, 500, 0, 0, nil, nil)
+	a.Run(5)
+	ckpt, err := a.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := newSim(t, 16, 500, 0, 0, nil, nil)
+	if err := b.Restore(ckpt[:len(ckpt)/2]); err == nil {
+		t.Error("truncated checkpoint accepted")
+	}
+}

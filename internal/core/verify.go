@@ -1,0 +1,193 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/parres/picprk/internal/dist"
+	"github.com/parres/picprk/internal/grid"
+	"github.com/parres/picprk/internal/particle"
+)
+
+// DefaultTolerance is the verification tolerance on particle positions.
+// The kernel's arithmetic is deterministic but not exactly lattice-exact;
+// the center-line configuration is self-restoring, so the error stays many
+// orders of magnitude below the h/2 lattice spacing even over thousands of
+// steps (asserted by tests out to 10k steps). The PRK reference
+// implementation uses an epsilon-based check for the same reason.
+const DefaultTolerance = 1e-5
+
+// VerifyPositions checks every particle against its closed-form trajectory
+// (paper eqs. 5–6): after s = steps − Born participating steps the particle
+// must be at
+//
+//	x = (x0 + Dir·(2K+1)·s·h) mod L,   y = (y0 + M·h·s) mod L
+//
+// within tol (measured as periodic distance). It also checks the velocity
+// pattern implied by the spec: vy = M·h/dt always, and vx alternates between
+// 0 (after an even number of steps) and Dir·2·(2K+1)·h/dt (after an odd
+// number). A single miscomputed force anywhere in a parallel run breaks
+// these conditions.
+func VerifyPositions(m grid.Mesh, ps []particle.Particle, steps int, tol float64) error {
+	L := m.Size()
+	for i := range ps {
+		p := &ps[i]
+		s := steps - int(p.Born)
+		if s < 0 {
+			return fmt.Errorf("core: particle %d born at step %d but run is only %d steps", p.ID, p.Born, steps)
+		}
+		ex, ey := p.ExpectedAt(s, L)
+		if d := periodicDist(p.X, ex, L); d > tol {
+			return fmt.Errorf("core: particle %d x=%v, expected %v after %d steps (|err|=%.3e)", p.ID, p.X, ex, s, d)
+		}
+		if d := periodicDist(p.Y, ey, L); d > tol {
+			return fmt.Errorf("core: particle %d y=%v, expected %v after %d steps (|err|=%.3e)", p.ID, p.Y, ey, s, d)
+		}
+		if d := math.Abs(p.VY - float64(p.M)); d > tol {
+			return fmt.Errorf("core: particle %d vy=%v, expected %d (|err|=%.3e)", p.ID, p.VY, p.M, d)
+		}
+		var evx float64
+		if s%2 == 1 {
+			evx = float64(p.Dir) * 2 * float64(2*p.K+1)
+		}
+		if d := math.Abs(p.VX - evx); d > tol {
+			return fmt.Errorf("core: particle %d vx=%v, expected %v after %d steps (|err|=%.3e)", p.ID, p.VX, evx, s, d)
+		}
+	}
+	return nil
+}
+
+func periodicDist(a, b, L float64) float64 {
+	d := math.Abs(a - b)
+	if d > L/2 {
+		d = L - d
+	}
+	return d
+}
+
+// Population is the analytically-predicted particle population after a run.
+type Population struct {
+	// Count is the number of surviving particles.
+	Count int
+	// IDSum is the sum of surviving particle IDs. With no removal events and
+	// n particles (initial + injected) it equals n·(n+1)/2, the checksum of
+	// paper §III-D.
+	IDSum uint64
+	// RemovedIDs lists particles deleted by removal events, ascending.
+	RemovedIDs []uint64
+}
+
+// ExpectedPopulation computes, without running the simulation, the surviving
+// particle population after steps time steps under the given initialization
+// and event schedule. It replays the schedule against closed-form
+// trajectories: a removal event at step t deletes every live particle whose
+// predicted position at t falls inside the region; injection events
+// materialize the very same particles a running simulation would create.
+func ExpectedPopulation(cfg dist.Config, sched dist.Schedule, steps int) (Population, error) {
+	ps, err := dist.Initialize(cfg)
+	if err != nil {
+		return Population{}, err
+	}
+	dir := cfg.Dir
+	if dir == 0 {
+		dir = 1
+	}
+	nextID := uint64(cfg.N) + 1
+	L := cfg.Mesh.Size()
+	for _, ev := range sched.Sorted() {
+		if ev.Step > steps {
+			break
+		}
+		if ev.Remove {
+			kept := ps[:0]
+			for i := range ps {
+				p := &ps[i]
+				x, y := p.ExpectedAt(ev.Step-int(p.Born), L)
+				if !ev.Region.ContainsPos(x, y, cfg.Mesh) {
+					kept = append(kept, *p)
+				}
+			}
+			ps = kept
+		}
+		if ev.Inject > 0 {
+			ps = append(ps, dist.InjectParticles(cfg.Mesh, ev, cfg.Seed, nextID, dir)...)
+			nextID += uint64(ev.Inject)
+		}
+	}
+	pop := Population{Count: len(ps)}
+	alive := make(map[uint64]bool, len(ps))
+	for i := range ps {
+		pop.IDSum += ps[i].ID
+		alive[ps[i].ID] = true
+	}
+	for id := uint64(1); id < nextID; id++ {
+		if !alive[id] {
+			pop.RemovedIDs = append(pop.RemovedIDs, id)
+		}
+	}
+	return pop, nil
+}
+
+// VerifyState is the full verification used by the sequential simulation and
+// by parallel drivers after gathering all particles: per-particle positions
+// and velocities against the closed-form solution, no duplicate IDs, and the
+// population count and ID checksum against the analytic prediction.
+func VerifyState(m grid.Mesh, ps []particle.Particle, sched dist.Schedule, seed uint64, dir, initialN, steps int, tol float64) error {
+	cfg := dist.Config{Mesh: m, N: initialN, Seed: seed, Dir: dir}
+	return verifyAgainst(cfg, sched, ps, steps, tol)
+}
+
+// Verify checks a final particle population against the initialization
+// config and schedule that produced it.
+func Verify(cfg dist.Config, sched dist.Schedule, ps []particle.Particle, steps int, tol float64) error {
+	return verifyAgainst(cfg, sched, ps, steps, tol)
+}
+
+func verifyAgainst(cfg dist.Config, sched dist.Schedule, ps []particle.Particle, steps int, tol float64) error {
+	if tol <= 0 {
+		tol = DefaultTolerance
+	}
+	if err := VerifyPositions(cfg.Mesh, ps, steps, tol); err != nil {
+		return err
+	}
+	ids := make([]uint64, len(ps))
+	for i := range ps {
+		ids[i] = ps[i].ID
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for i := 1; i < len(ids); i++ {
+		if ids[i] == ids[i-1] {
+			return fmt.Errorf("core: duplicate particle ID %d", ids[i])
+		}
+	}
+	// Population check. Note: for trajectory-params verification above, the
+	// per-particle data is intrinsic; the population prediction additionally
+	// requires the distribution to regenerate removed/injected sets. When
+	// the caller does not know the distribution (cfg.Dist nil is fine: the
+	// checksum depends only on which IDs survive), removal events make the
+	// prediction placement-dependent, so require the distribution then.
+	if cfg.Dist == nil && hasRemoval(sched, steps) {
+		return fmt.Errorf("core: verification with removal events requires cfg.Dist")
+	}
+	pop, err := ExpectedPopulation(cfg, sched, steps)
+	if err != nil {
+		return err
+	}
+	if len(ps) != pop.Count {
+		return fmt.Errorf("core: particle count %d, expected %d", len(ps), pop.Count)
+	}
+	if got := particle.IDSum(ps); got != pop.IDSum {
+		return fmt.Errorf("core: ID checksum %d, expected %d", got, pop.IDSum)
+	}
+	return nil
+}
+
+func hasRemoval(sched dist.Schedule, steps int) bool {
+	for _, ev := range sched {
+		if ev.Remove && ev.Step <= steps {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,275 @@
+// Package diffusion implements the application-specific, diffusion-based
+// load-balancing strategy of paper §IV-B (after Cybenko and Boillat): each
+// block periodically compares its workload with its neighbors' and, when the
+// difference exceeds a threshold, sheds its border cell-columns to the
+// lighter neighbor. The Cartesian-product decomposition is preserved, so the
+// decision reduces to editing a 1D boundary array per direction.
+//
+// The decision is a pure function of the globally-reduced load vector:
+// every rank computes the identical new boundary array without negotiation,
+// and the performance-model layer reuses the very same function, so model
+// and real drivers make identical decisions for identical load histories.
+package diffusion
+
+import (
+	"fmt"
+
+	"github.com/parres/picprk/internal/decomp"
+)
+
+// Params tunes the diffusion scheme. The paper calls out three interfering
+// knobs that must be co-tuned: the frequency of balancing actions, the
+// trigger threshold τ, and the width of the exchanged border region.
+type Params struct {
+	// Every is the number of time steps between balancing actions
+	// (frequency knob). Drivers interpret it; the decision functions here
+	// do not.
+	Every int
+	// Threshold is τ expressed as a fraction of the mean block load:
+	// a pair (i, i+1) triggers when |load[i]-load[i+1]| > Threshold·mean.
+	Threshold float64
+	// Width is the number of border cell-columns migrated per action.
+	Width int
+	// MinWidth is the minimum block width in cells; shifts that would
+	// shrink a block below it are skipped.
+	MinWidth int
+	// TwoPhase enables the full two-phase scheme of §IV-B: after balancing
+	// the x-direction cuts from column sums, balance the y-direction cuts
+	// from row sums. The paper's experiments restrict balancing to the
+	// x direction because the skewed workload drifts along x and is uniform
+	// in y; TwoPhase pays an extra reduction per epoch and helps only when
+	// the workload also varies in y.
+	TwoPhase bool
+}
+
+// DefaultParams are reasonable defaults for the paper's skewed workload.
+func DefaultParams() Params {
+	return Params{Every: 100, Threshold: 0.1, Width: 1, MinWidth: 2}
+}
+
+// Validate checks parameter sanity.
+func (p Params) Validate() error {
+	if p.Every <= 0 {
+		return fmt.Errorf("diffusion: Every must be positive, got %d", p.Every)
+	}
+	if p.Threshold < 0 {
+		return fmt.Errorf("diffusion: negative threshold %v", p.Threshold)
+	}
+	if p.Width <= 0 {
+		return fmt.Errorf("diffusion: Width must be positive, got %d", p.Width)
+	}
+	if p.MinWidth < 1 {
+		return fmt.Errorf("diffusion: MinWidth must be >= 1, got %d", p.MinWidth)
+	}
+	return nil
+}
+
+// BalanceStep computes one diffusion action: given the current 1D bounds and
+// the load (particle count) of each block, it returns the new bounds and
+// whether any cut moved. For every adjacent pair whose load difference
+// exceeds τ·mean, the cut between them shifts by Width cells toward the
+// heavier block (i.e. the heavy block cedes its border columns).
+//
+// Shift decisions are made Jacobi-style from the input loads, then applied
+// left to right; a shift is skipped if it would shrink either affected block
+// below MinWidth given the shifts already applied. The whole computation is
+// deterministic, so all ranks agree on the result without communication
+// beyond the load reduction itself.
+//
+// The domain is periodic, but like the paper's reference implementation the
+// diffusion acts on the linear chain of blocks only (no wrap-around pair):
+// particles stream across the seam, and the chain ends adapt via their inner
+// neighbors.
+func BalanceStep(b decomp.Bounds, loads []int64, p Params) (decomp.Bounds, bool) {
+	n := b.N()
+	if len(loads) != n {
+		panic(fmt.Sprintf("diffusion: %d loads for %d blocks", len(loads), n))
+	}
+	if n < 2 {
+		return b, false
+	}
+	var total int64
+	for _, l := range loads {
+		total += l
+	}
+	mean := float64(total) / float64(n)
+	trigger := p.Threshold * mean
+
+	// Desired shift of each interior cut j (between blocks j-1 and j):
+	// +Width moves the cut right (block j-1 grows), -Width moves it left.
+	shift := make([]int, n+1)
+	for i := 0; i+1 < n; i++ {
+		diff := float64(loads[i] - loads[i+1])
+		switch {
+		case diff > trigger:
+			shift[i+1] = -p.Width // heavy left block cedes border columns
+		case -diff > trigger:
+			shift[i+1] = +p.Width // heavy right block cedes border columns
+		}
+	}
+
+	nb := b.Clone()
+	changed := false
+	for j := 1; j < n; j++ {
+		if shift[j] == 0 {
+			continue
+		}
+		cut := nb.Cuts[j] + shift[j]
+		// The new cut must keep both adjacent blocks at MinWidth, taking
+		// already-applied shifts on the left into account and the original
+		// cut on the right (its shift, if any, is applied later and only
+		// ever checked against this updated value).
+		if cut-nb.Cuts[j-1] < p.MinWidth || nb.Cuts[j+1]-cut < p.MinWidth {
+			continue
+		}
+		nb.Cuts[j] = cut
+		changed = true
+	}
+	return nb, changed
+}
+
+// BalanceStepGuarded is BalanceStep with overshoot protection: a cut moves
+// only if transferring the border columns strictly reduces the heavier load
+// of the pair. Near a steep load gradient a single cell-column can carry
+// more particles than the whole imbalance, making the fixed-width scheme
+// oscillate (shuttle the column back and forth every invocation); the guard
+// suppresses exactly those moves. It requires per-cell-column loads, which
+// the parallel driver obtains with one extra reduction over its column
+// communicator — the cost the paper attributes to co-tuning the scheme.
+func BalanceStepGuarded(b decomp.Bounds, cellLoads []int64, p Params) (decomp.Bounds, bool) {
+	n := b.N()
+	if n < 2 {
+		return b, false
+	}
+	loads := BlockLoads(b, cellLoads)
+	var total int64
+	for _, l := range loads {
+		total += l
+	}
+	mean := float64(total) / float64(n)
+	trigger := p.Threshold * mean
+
+	nb := b.Clone()
+	changed := false
+	for j := 1; j < n; j++ {
+		left, right := loads[j-1], loads[j]
+		diff := float64(left - right)
+		var shift int
+		switch {
+		case diff > trigger:
+			shift = -p.Width
+		case -diff > trigger:
+			shift = +p.Width
+		default:
+			continue
+		}
+		cut := nb.Cuts[j] + shift
+		if cut-nb.Cuts[j-1] < p.MinWidth || nb.Cuts[j+1]-cut < p.MinWidth {
+			continue
+		}
+		// Load carried by the columns that would change hands.
+		var moved int64
+		lo, hi := cut, nb.Cuts[j]
+		if shift > 0 {
+			lo, hi = nb.Cuts[j], cut
+		}
+		for c := lo; c < hi; c++ {
+			moved += cellLoads[c]
+		}
+		var newLeft, newRight int64
+		if shift < 0 {
+			newLeft, newRight = left-moved, right+moved
+		} else {
+			newLeft, newRight = left+moved, right-moved
+		}
+		if max64(newLeft, newRight) > max64(left, right) {
+			// Overshoot: the move would worsen the pair. Moves of equal max
+			// are allowed — they occur when the border cells are empty, and
+			// repeating them lets the cut slide across an empty region
+			// toward the load instead of stalling at a plateau.
+			continue
+		}
+		nb.Cuts[j] = cut
+		// Gauss-Seidel update so the next pair's decision sees the move.
+		loads[j-1], loads[j] = newLeft, newRight
+		changed = true
+	}
+	return nb, changed
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// BalanceToConvergence applies BalanceStep repeatedly (at most maxIter
+// times) against a static load-per-cell profile, recomputing block loads
+// after each move. cellLoads[i] is the particle count of cell-column i.
+//
+// Fixed-width diffusion moves can enter a limit cycle (a cut shuttling one
+// column back and forth) rather than reaching a fixed point — the paper
+// notes the scheme "is no panacea". BalanceToConvergence therefore detects
+// revisited states and returns the best bounds seen (smallest maximum block
+// load), along with the number of iterations performed. It is used by tests
+// and by offline tuning to inspect the scheme's behaviour on a frozen
+// distribution.
+func BalanceToConvergence(b decomp.Bounds, cellLoads []int64, p Params, maxIter int) (decomp.Bounds, int) {
+	cur := b
+	best := b
+	bestMax := maxOf(BlockLoads(b, cellLoads))
+	seen := map[string]bool{key(b): true}
+	for iter := 0; iter < maxIter; iter++ {
+		loads := BlockLoads(cur, cellLoads)
+		next, changed := BalanceStep(cur, loads, p)
+		if !changed {
+			return cur, iter
+		}
+		if m := maxOf(BlockLoads(next, cellLoads)); m < bestMax {
+			bestMax = m
+			best = next
+		}
+		k := key(next)
+		if seen[k] {
+			return best, iter + 1
+		}
+		seen[k] = true
+		cur = next
+	}
+	return best, maxIter
+}
+
+func maxOf(loads []int64) int64 {
+	var m int64
+	for _, l := range loads {
+		if l > m {
+			m = l
+		}
+	}
+	return m
+}
+
+func key(b decomp.Bounds) string {
+	buf := make([]byte, 0, 8*len(b.Cuts))
+	for _, c := range b.Cuts {
+		v := uint64(int64(c))
+		buf = append(buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+			byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+	}
+	return string(buf)
+}
+
+// BlockLoads aggregates per-cell-column loads into per-block loads under
+// the given bounds.
+func BlockLoads(b decomp.Bounds, cellLoads []int64) []int64 {
+	out := make([]int64, b.N())
+	for i := 0; i < b.N(); i++ {
+		var s int64
+		for c := b.Lo(i); c < b.Hi(i); c++ {
+			s += cellLoads[c]
+		}
+		out[i] = s
+	}
+	return out
+}

@@ -1,0 +1,30 @@
+package diffusion_test
+
+import (
+	"fmt"
+
+	"github.com/parres/picprk/internal/decomp"
+	"github.com/parres/picprk/internal/diffusion"
+)
+
+// ExampleBalanceStepGuarded balances a skewed per-column load across four
+// blocks: the heavy leftmost block cedes border columns to its neighbor.
+func ExampleBalanceStepGuarded() {
+	// 16 cell columns: all the load sits in the first four.
+	cellLoads := []int64{400, 300, 200, 100, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0}
+	bounds := decomp.MustUniformBounds(16, 4)
+	params := diffusion.Params{Every: 1, Threshold: 0.1, Width: 1, MinWidth: 1}
+
+	fmt.Println("cuts before:", bounds.Cuts, "loads:", diffusion.BlockLoads(bounds, cellLoads))
+	for i := 0; i < 8; i++ {
+		next, changed := diffusion.BalanceStepGuarded(bounds, cellLoads, params)
+		if !changed {
+			break
+		}
+		bounds = next
+	}
+	fmt.Println("cuts after: ", bounds.Cuts, "loads:", diffusion.BlockLoads(bounds, cellLoads))
+	// Output:
+	// cuts before: [0 4 8 12 16] loads: [1000 0 0 0]
+	// cuts after:  [0 1 2 8 16] loads: [400 300 300 0]
+}

@@ -1,0 +1,146 @@
+package dist
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/parres/picprk/internal/grid"
+	"github.com/parres/picprk/internal/particle"
+)
+
+// Rect is a rectangle of cells, [X0, X1) × [Y0, Y1), used to delimit
+// injection and removal regions (paper §III-E5).
+type Rect struct{ X0, X1, Y0, Y1 int }
+
+// ContainsCell reports whether cell (cx, cy) lies inside the rectangle.
+func (r Rect) ContainsCell(cx, cy int) bool {
+	return cx >= r.X0 && cx < r.X1 && cy >= r.Y0 && cy < r.Y1
+}
+
+// ContainsPos reports whether a continuous position lies inside the
+// rectangle; membership is defined by the containing cell, matching how the
+// kernel assigns particles to cells.
+func (r Rect) ContainsPos(x, y float64, m grid.Mesh) bool {
+	cx, cy := m.CellOf(x, y)
+	return r.ContainsCell(cx, cy)
+}
+
+// Cells returns the number of cells in the rectangle.
+func (r Rect) Cells() int {
+	w, h := r.X1-r.X0, r.Y1-r.Y0
+	if w <= 0 || h <= 0 {
+		return 0
+	}
+	return w * h
+}
+
+// Event is a scheduled perturbation of the particle population. At Step,
+// first removal (if Remove is set) deletes every particle whose position
+// lies in Region, then Inject new particles are placed uniformly at the
+// centers of cells in Region. Both adjust the local amount of work abruptly
+// and are the paper's category-2 source of load imbalance.
+type Event struct {
+	// Step is the time step, counted after the step's particle move, at
+	// which the event fires. Step s means "after s moves have completed".
+	Step int
+	// Region delimits the affected cells.
+	Region Rect
+	// Remove deletes all particles currently inside Region.
+	Remove bool
+	// Inject is the number of particles to add uniformly inside Region.
+	Inject int
+	// K, M are the trajectory parameters of injected particles.
+	K, M int
+}
+
+// Schedule is an ordered list of events.
+type Schedule []Event
+
+// Validate checks event parameters against the mesh.
+func (s Schedule) Validate(m grid.Mesh) error {
+	for i, ev := range s {
+		if ev.Step < 0 {
+			return fmt.Errorf("dist: event %d has negative step %d", i, ev.Step)
+		}
+		if ev.Inject < 0 {
+			return fmt.Errorf("dist: event %d has negative injection count", i)
+		}
+		if ev.Inject > 0 || ev.Remove {
+			r := ev.Region
+			if r.X0 < 0 || r.Y0 < 0 || r.X1 > m.L || r.Y1 > m.L || r.Cells() == 0 {
+				return fmt.Errorf("dist: event %d region %+v invalid for L=%d", i, r, m.L)
+			}
+		}
+		if ev.K < 0 {
+			return fmt.Errorf("dist: event %d has negative K", i)
+		}
+	}
+	return nil
+}
+
+// Sorted returns a copy of the schedule ordered by step (stable).
+func (s Schedule) Sorted() Schedule {
+	out := make(Schedule, len(s))
+	copy(out, s)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Step < out[j].Step })
+	return out
+}
+
+// At returns the events firing at the given step.
+func (s Schedule) At(step int) []Event {
+	var out []Event
+	for _, ev := range s {
+		if ev.Step == step {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// TotalInjected returns the number of particles the schedule injects in
+// total; drivers use it to size ID ranges.
+func (s Schedule) TotalInjected() int {
+	n := 0
+	for _, ev := range s {
+		n += ev.Inject
+	}
+	return n
+}
+
+// InjectParticles materializes the particles added by one event. IDs are
+// assigned firstID, firstID+1, … in deterministic order; placement is
+// uniform over the region's cells, derived from seed and the event's step,
+// so every rank computes the identical global list and can filter to its
+// own subdomain.
+func InjectParticles(m grid.Mesh, ev Event, seed uint64, firstID uint64, dir int) []particle.Particle {
+	if ev.Inject <= 0 {
+		return nil
+	}
+	if dir == 0 {
+		dir = 1
+	}
+	rng := NewRNG(seed, 0x696e6a /* "inj" */, uint64(ev.Step))
+	base := BaseCharge(m.Q, 0.5)
+	mult := float64(2*ev.K + 1)
+	w := ev.Region.X1 - ev.Region.X0
+	h := ev.Region.Y1 - ev.Region.Y0
+	ps := make([]particle.Particle, 0, ev.Inject)
+	for i := 0; i < ev.Inject; i++ {
+		cx := ev.Region.X0 + rng.Intn(w)
+		cy := ev.Region.Y0 + rng.Intn(h)
+		sign := float64(dir * m.ColumnSign(cx))
+		x := float64(cx) + 0.5
+		y := float64(cy) + 0.5
+		ps = append(ps, particle.Particle{
+			ID: firstID + uint64(i),
+			X:  x, Y: y,
+			VX: 0, VY: float64(ev.M),
+			Q:  sign * mult * base,
+			X0: x, Y0: y,
+			K: int32(ev.K), M: int32(ev.M),
+			Dir:  int32(dir),
+			Born: int32(ev.Step),
+		})
+	}
+	return ps
+}

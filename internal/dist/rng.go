@@ -1,0 +1,44 @@
+package dist
+
+// RNG is a SplitMix64 pseudo-random generator. The PRK requires bitwise
+// reproducible initialization across runs and across decompositions, so we
+// use a tiny self-contained generator with a documented algorithm instead of
+// math/rand (whose stream is not part of any compatibility promise).
+type RNG struct{ state uint64 }
+
+// NewRNG returns a generator seeded deterministically from one or more
+// values (e.g. a global seed plus a column index), mixed so that nearby
+// seeds produce unrelated streams.
+func NewRNG(seeds ...uint64) *RNG {
+	r := &RNG{state: 0x9e3779b97f4a7c15}
+	for _, s := range seeds {
+		r.state ^= s + 0x9e3779b97f4a7c15 + (r.state << 6) + (r.state >> 2)
+		r.Uint64()
+	}
+	return r
+}
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a uniform integer in [0, n). n must be positive.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("dist: Intn with non-positive n")
+	}
+	// Lemire-style rejection-free reduction is unnecessary here: a modulo
+	// bias of n/2^64 is far below anything observable, and determinism is
+	// all the PRK cares about.
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}

@@ -1,0 +1,304 @@
+// Package driver contains the three parallel reference implementations of
+// the PIC PRK described in paper §IV, written against the message-passing
+// runtime in internal/comm exactly as the paper's codes are written against
+// MPI:
+//
+//   - Baseline (paper "mpi-2d"): static 2D block decomposition, no load
+//     balancing.
+//   - Diffusion (paper "mpi-2d-LB"): application-specific diffusion-based
+//     load balancing restricted to the x direction.
+//   - AMPI (paper "ampi"): over-decomposition into virtual processors with
+//     runtime-orchestrated load balancing and PUP-serialized migration.
+//
+// All three produce bitwise-identical particle states to the sequential
+// reference simulation (asserted by the test suite) and self-verify against
+// the closed-form solution.
+package driver
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/parres/picprk/internal/comm"
+	"github.com/parres/picprk/internal/core"
+	"github.com/parres/picprk/internal/dist"
+	"github.com/parres/picprk/internal/grid"
+	"github.com/parres/picprk/internal/particle"
+	"github.com/parres/picprk/internal/trace"
+)
+
+// Config describes one PIC PRK run.
+type Config struct {
+	Mesh grid.Mesh
+	// N is the initial particle count.
+	N int
+	// K, M are the trajectory speed parameters (paper eqs. 3–4).
+	K, M int
+	// Dir is the drift direction (+1 default).
+	Dir int
+	// Dist is the initial distribution (nil = uniform).
+	Dist dist.Distribution
+	// Seed drives deterministic placement.
+	Seed uint64
+	// Steps is the number of time steps.
+	Steps int
+	// Schedule holds injection/removal events.
+	Schedule dist.Schedule
+	// Verify gathers all particles at rank 0 after the run and checks them
+	// against the closed-form solution.
+	Verify bool
+	// DistributedVerify verifies without gathering: every rank checks its
+	// local particles against the closed-form solution and the population
+	// count and ID checksum are allreduced — the "trivially parallelized"
+	// verification of paper §III-D. Result.Particles stays nil.
+	DistributedVerify bool
+	// Tol overrides the verification tolerance (0 = default).
+	Tol float64
+	// Chaos, when positive, delays every message delivery by a random
+	// duration up to this bound — a stress mode that shakes out ordering
+	// assumptions in the exchange and migration protocols.
+	Chaos time.Duration
+}
+
+func (cfg *Config) distConfig() dist.Config {
+	return dist.Config{
+		Mesh: cfg.Mesh, N: cfg.N, K: cfg.K, M: cfg.M,
+		Dir: cfg.Dir, Dist: cfg.Dist, Seed: cfg.Seed,
+	}
+}
+
+func (cfg *Config) validate(p int) error {
+	if cfg.Steps < 0 {
+		return fmt.Errorf("driver: negative step count %d", cfg.Steps)
+	}
+	if cfg.Mesh.L == 0 {
+		return fmt.Errorf("driver: zero-value mesh")
+	}
+	if p <= 0 {
+		return fmt.Errorf("driver: need at least one rank")
+	}
+	if err := cfg.Schedule.Validate(cfg.Mesh); err != nil {
+		return err
+	}
+	return nil
+}
+
+// RankStats reports one rank's accounting after a run.
+type RankStats struct {
+	Rank                       int
+	Compute, Exchange, Balance time.Duration
+	// FinalParticles is the local particle count at the end of the run;
+	// MaxParticles the high-water mark over all steps (§V-B metric).
+	FinalParticles, MaxParticles int
+	// Migrations counts LB actions that moved data to or from this rank.
+	Migrations int
+	// BytesMigrated counts LB payload bytes sent by this rank.
+	BytesMigrated int64
+}
+
+// Result is what a driver run returns on rank 0.
+type Result struct {
+	Name    string
+	P       int
+	Steps   int
+	Elapsed time.Duration
+	PerRank []RankStats
+	// FinalParticles is the global particle count after the run.
+	FinalParticles int
+	// MaxFinalParticles is the largest per-rank particle count at the end,
+	// the metric paper §V-B reports (62,645 baseline vs 30,585 diffusion).
+	MaxFinalParticles int
+	// Verified is set when cfg.Verify was requested and passed.
+	Verified bool
+	// Particles holds the gathered global final state (sorted by ID) when
+	// cfg.Verify was requested; tests compare it bitwise against the
+	// sequential reference.
+	Particles []particle.Particle
+}
+
+// MaxParticlesHighWater returns the largest per-rank high-water mark.
+func (r *Result) MaxParticlesHighWater() int {
+	m := 0
+	for _, s := range r.PerRank {
+		if s.MaxParticles > m {
+			m = s.MaxParticles
+		}
+	}
+	return m
+}
+
+// initLocalParticles computes the deterministic global initialization and
+// keeps the particles owned by this rank. Replicating the initialization is
+// O(N) per rank but keeps placement bitwise independent of P, which the
+// verification scheme relies on.
+func initLocalParticles(cfg Config, owns func(cx, cy int) bool) ([]particle.Particle, error) {
+	all, err := dist.Initialize(cfg.distConfig())
+	if err != nil {
+		return nil, err
+	}
+	local := all[:0]
+	for i := range all {
+		cx, cy := cfg.Mesh.CellOf(all[i].X, all[i].Y)
+		if owns(cx, cy) {
+			local = append(local, all[i])
+		}
+	}
+	return append([]particle.Particle(nil), local...), nil
+}
+
+// eventState tracks the globally-agreed ID counter for injections.
+type eventState struct {
+	nextID uint64
+}
+
+func newEventState(cfg Config) eventState {
+	return eventState{nextID: uint64(cfg.N) + 1}
+}
+
+// apply fires the events scheduled at the given step against the local
+// particle set: removal scans local particles; injection recomputes the
+// deterministic global injection list and keeps the locally-owned ones.
+// Every rank advances nextID identically.
+func (es *eventState) apply(cfg Config, step int, ps []particle.Particle, owns func(cx, cy int) bool) []particle.Particle {
+	for _, ev := range cfg.Schedule.At(step) {
+		if ev.Remove {
+			kept := ps[:0]
+			for i := range ps {
+				if !ev.Region.ContainsPos(ps[i].X, ps[i].Y, cfg.Mesh) {
+					kept = append(kept, ps[i])
+				}
+			}
+			ps = kept
+		}
+		if ev.Inject > 0 {
+			dir := cfg.Dir
+			if dir == 0 {
+				dir = 1
+			}
+			inj := dist.InjectParticles(cfg.Mesh, ev, cfg.Seed, es.nextID, dir)
+			es.nextID += uint64(ev.Inject)
+			for i := range inj {
+				cx, cy := cfg.Mesh.CellOf(inj[i].X, inj[i].Y)
+				if owns(cx, cy) {
+					ps = append(ps, inj[i])
+				}
+			}
+		}
+	}
+	return ps
+}
+
+// exchangeParticles sends every particle to its owner rank and returns the
+// retained-plus-received set. owner maps a cell to a rank; rec accounts the
+// time as exchange.
+func exchangeParticles(c *comm.Comm, m grid.Mesh, ps []particle.Particle, owner func(cx, cy int) int, rec *trace.Recorder) []particle.Particle {
+	var out []particle.Particle
+	rec.Time(trace.Exchange, func() {
+		me := c.Rank()
+		retained, leaving := particle.SplitRetain(ps, func(p *particle.Particle) bool {
+			cx, cy := m.CellOf(p.X, p.Y)
+			return owner(cx, cy) == me
+		}, nil)
+		buckets := particle.Partition(leaving, c.Size(), func(p *particle.Particle) int {
+			cx, cy := m.CellOf(p.X, p.Y)
+			return owner(cx, cy)
+		})
+		incoming := comm.SparseExchange(c, buckets)
+		out = retained
+		for src, b := range incoming {
+			if src == me {
+				continue // self bucket is always empty here
+			}
+			out = append(out, b...)
+		}
+	})
+	return out
+}
+
+// distributedVerify is the parallel verification of paper §III-D: local
+// closed-form position checks plus one allreduce for the population count
+// and ID checksum. No rank ever sees the global particle set.
+func distributedVerify(c *comm.Comm, cfg Config, ps []particle.Particle) error {
+	tol := cfg.Tol
+	if tol <= 0 {
+		tol = core.DefaultTolerance
+	}
+	if err := core.VerifyPositions(cfg.Mesh, ps, cfg.Steps, tol); err != nil {
+		return err
+	}
+	seen := make(map[uint64]bool, len(ps))
+	for i := range ps {
+		if seen[ps[i].ID] {
+			return fmt.Errorf("driver: duplicate particle %d on rank %d", ps[i].ID, c.Rank())
+		}
+		seen[ps[i].ID] = true
+	}
+	sums := comm.Allreduce(c, []uint64{uint64(len(ps)), particle.IDSum(ps)}, comm.Sum[uint64])
+	pop, err := core.ExpectedPopulation(cfg.distConfig(), cfg.Schedule, cfg.Steps)
+	if err != nil {
+		return err
+	}
+	if sums[0] != uint64(pop.Count) {
+		return fmt.Errorf("driver: global particle count %d, expected %d", sums[0], pop.Count)
+	}
+	if sums[1] != pop.IDSum {
+		return fmt.Errorf("driver: global ID checksum %d, expected %d", sums[1], pop.IDSum)
+	}
+	return nil
+}
+
+// gatherAndVerify collects every rank's particles at rank 0 and verifies
+// them against the closed-form solution. Ranks other than 0 return
+// (nil, true, nil). With cfg.DistributedVerify the gather is skipped and
+// the parallel verification runs instead.
+func gatherAndVerify(c *comm.Comm, cfg Config, ps []particle.Particle) ([]particle.Particle, bool, error) {
+	if cfg.DistributedVerify {
+		if err := distributedVerify(c, cfg, ps); err != nil {
+			return nil, false, fmt.Errorf("driver: distributed verification failed: %w", err)
+		}
+		return nil, true, nil
+	}
+	all := comm.Gather(c, 0, append([]particle.Particle(nil), ps...))
+	if c.Rank() != 0 {
+		return nil, true, nil
+	}
+	var merged []particle.Particle
+	for _, part := range all {
+		merged = append(merged, part...)
+	}
+	sort.Slice(merged, func(i, j int) bool { return merged[i].ID < merged[j].ID })
+	if !cfg.Verify {
+		return merged, false, nil
+	}
+	if err := core.Verify(cfg.distConfig(), cfg.Schedule, merged, cfg.Steps, cfg.Tol); err != nil {
+		return merged, false, fmt.Errorf("driver: verification failed: %w", err)
+	}
+	return merged, true, nil
+}
+
+// collectResult gathers per-rank stats at rank 0 and assembles the Result.
+func collectResult(c *comm.Comm, name string, cfg Config, rec *trace.Recorder, nLocal int, bytesMigrated int64, migrations int) *Result {
+	st := RankStats{
+		Rank:           c.Rank(),
+		Compute:        rec.Get(trace.Compute),
+		Exchange:       rec.Get(trace.Exchange),
+		Balance:        rec.Get(trace.Balance),
+		FinalParticles: nLocal,
+		MaxParticles:   rec.MaxParticles,
+		Migrations:     migrations,
+		BytesMigrated:  bytesMigrated,
+	}
+	all := comm.Gather(c, 0, st)
+	if c.Rank() != 0 {
+		return nil
+	}
+	res := &Result{Name: name, P: c.Size(), Steps: cfg.Steps, PerRank: all}
+	for _, s := range all {
+		res.FinalParticles += s.FinalParticles
+		if s.FinalParticles > res.MaxFinalParticles {
+			res.MaxFinalParticles = s.FinalParticles
+		}
+	}
+	return res
+}

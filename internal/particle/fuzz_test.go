@@ -1,0 +1,21 @@
+package particle
+
+import "testing"
+
+// FuzzDecode feeds arbitrary bytes to the particle decoder: it must never
+// panic, and any buffer it accepts must re-encode to the same bytes.
+func FuzzDecode(f *testing.F) {
+	f.Add(EncodeSlice([]Particle{{ID: 1, X: 0.5, Y: 0.5, Q: -0.35, X0: 0.5, Y0: 0.5, Dir: 1}}))
+	f.Add([]byte{})
+	f.Add(make([]byte, EncodedSize-1))
+	f.Add(make([]byte, EncodedSize+3))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ps, err := DecodeSlice(data)
+		if err != nil {
+			return
+		}
+		if got := EncodeSlice(ps); string(got) != string(data) {
+			t.Fatalf("accepted buffer does not round-trip")
+		}
+	})
+}

@@ -1,0 +1,280 @@
+// Package pup provides a pack/unpack serialization framework modeled on
+// Charm++'s PUP, which the paper's AMPI implementation uses for migrating
+// virtual processors ("we opted for PUP because it yields higher
+// performance", §IV-C). One traversal method written against *PUPer serves
+// three modes — sizing, packing and unpacking — so object layout is defined
+// exactly once and the pack/unpack pair can never drift apart.
+package pup
+
+import (
+	"fmt"
+	"math"
+)
+
+// Mode selects what a PUPer pass does.
+type Mode int
+
+// The three traversal modes.
+const (
+	Sizing Mode = iota
+	Packing
+	Unpacking
+)
+
+// PUPable is implemented by objects that can be migrated.
+type PUPable interface {
+	PUP(p *PUPer)
+}
+
+// PUPer carries the state of one sizing/packing/unpacking traversal.
+// After a traversal, check Err (unpacking a short or corrupt buffer records
+// an error and turns subsequent calls into no-ops rather than panicking).
+type PUPer struct {
+	mode Mode
+	buf  []byte
+	off  int
+	size int
+	err  error
+}
+
+// NewSizer returns a PUPer that only measures the encoded size.
+func NewSizer() *PUPer { return &PUPer{mode: Sizing} }
+
+// NewPacker returns a PUPer that packs into a fresh buffer of the given
+// size (obtained from a prior sizing pass).
+func NewPacker(size int) *PUPer {
+	return &PUPer{mode: Packing, buf: make([]byte, size)}
+}
+
+// NewUnpacker returns a PUPer that unpacks from buf.
+func NewUnpacker(buf []byte) *PUPer {
+	return &PUPer{mode: Unpacking, buf: buf}
+}
+
+// Mode returns the traversal mode, for objects that must behave differently
+// when restoring (e.g. rebuilding caches after unpacking).
+func (p *PUPer) Mode() Mode { return p.mode }
+
+// Size returns the measured size after a sizing pass.
+func (p *PUPer) Size() int { return p.size }
+
+// Bytes returns the packed buffer after a packing pass.
+func (p *PUPer) Bytes() []byte { return p.buf }
+
+// Err returns the first error encountered (unpack overruns).
+func (p *PUPer) Err() error { return p.err }
+
+// Done reports whether an unpacking pass consumed the whole buffer.
+func (p *PUPer) Done() bool { return p.mode == Unpacking && p.off == len(p.buf) && p.err == nil }
+
+// Fail records an application-level error (e.g. a consistency check during
+// unpacking failed); subsequent operations become no-ops and Err/Unpack
+// report the error. The first recorded error wins.
+func (p *PUPer) Fail(err error) {
+	if p.err == nil && err != nil {
+		p.err = err
+	}
+}
+
+func (p *PUPer) fail(format string, args ...any) {
+	if p.err == nil {
+		p.err = fmt.Errorf("pup: "+format, args...)
+	}
+}
+
+func (p *PUPer) raw(n int) []byte {
+	switch p.mode {
+	case Sizing:
+		p.size += n
+		return nil
+	case Packing:
+		if p.off+n > len(p.buf) {
+			p.fail("pack overflow: need %d bytes at offset %d of %d", n, p.off, len(p.buf))
+			return nil
+		}
+	case Unpacking:
+		if p.off+n > len(p.buf) {
+			p.fail("unpack overrun: need %d bytes at offset %d of %d", n, p.off, len(p.buf))
+			return nil
+		}
+	}
+	b := p.buf[p.off : p.off+n]
+	p.off += n
+	return b
+}
+
+// Uint64 serializes one uint64.
+func (p *PUPer) Uint64(v *uint64) {
+	b := p.raw(8)
+	if b == nil {
+		return
+	}
+	switch p.mode {
+	case Packing:
+		putU64(b, *v)
+	case Unpacking:
+		*v = getU64(b)
+	}
+}
+
+// Int serializes one int (as 8 bytes, two's complement).
+func (p *PUPer) Int(v *int) {
+	u := uint64(int64(*v))
+	p.Uint64(&u)
+	if p.mode == Unpacking {
+		*v = int(int64(u))
+	}
+}
+
+// Int32 serializes one int32.
+func (p *PUPer) Int32(v *int32) {
+	b := p.raw(4)
+	if b == nil {
+		return
+	}
+	switch p.mode {
+	case Packing:
+		u := uint32(*v)
+		b[0], b[1], b[2], b[3] = byte(u), byte(u>>8), byte(u>>16), byte(u>>24)
+	case Unpacking:
+		*v = int32(uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24)
+	}
+}
+
+// Float64 serializes one float64 (IEEE-754 bits).
+func (p *PUPer) Float64(v *float64) {
+	u := math.Float64bits(*v)
+	p.Uint64(&u)
+	if p.mode == Unpacking {
+		*v = math.Float64frombits(u)
+	}
+}
+
+// Bool serializes one bool as a byte.
+func (p *PUPer) Bool(v *bool) {
+	b := p.raw(1)
+	if b == nil {
+		return
+	}
+	switch p.mode {
+	case Packing:
+		if *v {
+			b[0] = 1
+		} else {
+			b[0] = 0
+		}
+	case Unpacking:
+		*v = b[0] != 0
+	}
+}
+
+// Float64s serializes a slice of float64, length-prefixed.
+func (p *PUPer) Float64s(v *[]float64) {
+	n := len(*v)
+	p.Int(&n)
+	if p.err != nil {
+		return
+	}
+	if p.mode == Unpacking {
+		if n < 0 || n > len(p.buf)/8 {
+			p.fail("implausible float64 slice length %d", n)
+			return
+		}
+		*v = make([]float64, n)
+	}
+	for i := range *v {
+		p.Float64(&(*v)[i])
+		if p.err != nil {
+			return
+		}
+	}
+}
+
+// String serializes a string, length-prefixed.
+func (p *PUPer) String(v *string) {
+	n := len(*v)
+	p.Int(&n)
+	if p.err != nil {
+		return
+	}
+	switch p.mode {
+	case Sizing:
+		p.size += n
+	case Packing:
+		b := p.raw(n)
+		if b != nil {
+			copy(b, *v)
+		}
+	case Unpacking:
+		if n < 0 || n > len(p.buf) {
+			p.fail("implausible string length %d", n)
+			return
+		}
+		b := p.raw(n)
+		if b != nil {
+			*v = string(b)
+		}
+	}
+}
+
+// Slice serializes a slice of arbitrary elements, length-prefixed, using the
+// provided per-element function.
+func Slice[T any](p *PUPer, v *[]T, elem func(p *PUPer, e *T)) {
+	n := len(*v)
+	p.Int(&n)
+	if p.err != nil {
+		return
+	}
+	if p.mode == Unpacking {
+		if n < 0 || n > len(p.buf) {
+			p.fail("implausible slice length %d", n)
+			return
+		}
+		*v = make([]T, n)
+	}
+	for i := range *v {
+		elem(p, &(*v)[i])
+		if p.err != nil {
+			return
+		}
+	}
+}
+
+// Pack runs the canonical size-then-pack sequence and returns the buffer.
+func Pack(obj PUPable) ([]byte, error) {
+	s := NewSizer()
+	obj.PUP(s)
+	if s.Err() != nil {
+		return nil, s.Err()
+	}
+	pk := NewPacker(s.Size())
+	obj.PUP(pk)
+	if pk.Err() != nil {
+		return nil, pk.Err()
+	}
+	return pk.Bytes(), nil
+}
+
+// Unpack restores obj from a buffer produced by Pack, requiring that the
+// whole buffer is consumed.
+func Unpack(obj PUPable, buf []byte) error {
+	u := NewUnpacker(buf)
+	obj.PUP(u)
+	if u.Err() != nil {
+		return u.Err()
+	}
+	if !u.Done() {
+		return fmt.Errorf("pup: %d trailing bytes after unpack", len(buf)-u.off)
+	}
+	return nil
+}
+
+func putU64(b []byte, v uint64) {
+	b[0], b[1], b[2], b[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+	b[4], b[5], b[6], b[7] = byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56)
+}
+
+func getU64(b []byte) uint64 {
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}

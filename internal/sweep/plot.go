@@ -1,0 +1,81 @@
+package sweep
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Plot renders the figure's series as an ASCII chart with a logarithmic
+// y axis (the paper's figures are log-log), one glyph per series. It is a
+// quick visual check that the reproduced curves have the paper's shape —
+// who is on top, where lines cross — without leaving the terminal.
+func (f *Figure) Plot(w io.Writer, height int) {
+	if height <= 0 {
+		height = 16
+	}
+	glyphs := []byte{'b', 'd', 'a', '4', '5', '6'}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, s := range f.Series {
+		for _, v := range s.Values {
+			if v <= 0 {
+				continue
+			}
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+	}
+	if math.IsInf(lo, 1) || lo == hi {
+		fmt.Fprintln(w, "plot: nothing to draw")
+		return
+	}
+	logLo, logHi := math.Log(lo), math.Log(hi)
+	// A column per x tick, padded for readability.
+	colW := 4
+	for _, t := range f.XTicks {
+		if len(t)+2 > colW {
+			colW = len(t) + 2
+		}
+	}
+	width := colW * len(f.XTicks)
+	rows := make([][]byte, height)
+	for r := range rows {
+		rows[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range f.Series {
+		g := glyphs[si%len(glyphs)]
+		for xi, v := range s.Values {
+			if v <= 0 {
+				continue
+			}
+			r := int(math.Round((logHi - math.Log(v)) / (logHi - logLo) * float64(height-1)))
+			c := xi*colW + colW/2
+			if rows[r][c] == ' ' {
+				rows[r][c] = g
+			} else {
+				rows[r][c] = '*' // overlapping series
+			}
+		}
+	}
+	fmt.Fprintf(w, "%s (log y: %.3g .. %.3g seconds; '*' = overlap)\n", f.ID, lo, hi)
+	for r, row := range rows {
+		label := "        "
+		if r == 0 {
+			label = fmt.Sprintf("%7.3g ", hi)
+		} else if r == height-1 {
+			label = fmt.Sprintf("%7.3g ", lo)
+		}
+		fmt.Fprintf(w, "%s|%s\n", label, string(row))
+	}
+	fmt.Fprintf(w, "        +%s\n", strings.Repeat("-", width))
+	var ticks strings.Builder
+	for _, t := range f.XTicks {
+		ticks.WriteString(fmt.Sprintf("%-*s", colW, " "+t))
+	}
+	fmt.Fprintf(w, "        %s  (%s)\n", ticks.String(), f.XLabel)
+	for si, s := range f.Series {
+		fmt.Fprintf(w, "        %c = %s\n", glyphs[si%len(glyphs)], s.Name)
+	}
+	fmt.Fprintln(w)
+}

@@ -1,0 +1,108 @@
+// Package sweep is the experiment harness: one registered experiment per
+// table/figure in the paper's evaluation (§V), each regenerating the same
+// rows/series the paper reports, using the performance model at the paper's
+// scales and the paper's own methodology ("for each implementation we tuned
+// the relevant parameters and picked the best performing execution").
+package sweep
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Series is one line of a figure: a named sequence of y-values aligned with
+// the figure's x-labels.
+type Series struct {
+	Name   string
+	Values []float64
+	// Unit annotates the values ("s", "x", "particles").
+	Unit string
+}
+
+// Figure is one reproduced experiment.
+type Figure struct {
+	ID     string // e.g. "fig5", "fig6-left"
+	Title  string
+	Config string // workload and parameter description
+	XLabel string
+	XTicks []string
+	Series []Series
+	// Notes carries companion scalar results quoted in the paper's text
+	// (e.g. §V-B's max-particles-per-core comparison).
+	Notes []string
+}
+
+// Render writes the figure as an aligned text table.
+func (f *Figure) Render(w io.Writer) {
+	fmt.Fprintf(w, "=== %s: %s ===\n", f.ID, f.Title)
+	fmt.Fprintf(w, "workload: %s\n", f.Config)
+	cols := make([]int, len(f.Series)+1)
+	cols[0] = len(f.XLabel)
+	for _, t := range f.XTicks {
+		if len(t) > cols[0] {
+			cols[0] = len(t)
+		}
+	}
+	header := make([]string, len(f.Series)+1)
+	header[0] = f.XLabel
+	for i, s := range f.Series {
+		name := s.Name
+		if s.Unit != "" {
+			name += " (" + s.Unit + ")"
+		}
+		header[i+1] = name
+		cols[i+1] = len(name)
+		for _, v := range s.Values {
+			if l := len(formatVal(v)); l > cols[i+1] {
+				cols[i+1] = l
+			}
+		}
+	}
+	writeRow(w, header, cols)
+	sep := make([]string, len(header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", cols[i])
+	}
+	writeRow(w, sep, cols)
+	for r, tick := range f.XTicks {
+		row := make([]string, len(f.Series)+1)
+		row[0] = tick
+		for i, s := range f.Series {
+			if r < len(s.Values) {
+				row[i+1] = formatVal(s.Values[r])
+			} else {
+				row[i+1] = "-"
+			}
+		}
+		writeRow(w, row, cols)
+	}
+	for _, n := range f.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+func formatVal(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case v >= 10000:
+		return fmt.Sprintf("%.0f", v)
+	case v >= 100:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}
+
+func writeRow(w io.Writer, cells []string, cols []int) {
+	for i, c := range cells {
+		if i == 0 {
+			fmt.Fprintf(w, "%-*s", cols[i], c)
+		} else {
+			fmt.Fprintf(w, "  %*s", cols[i], c)
+		}
+	}
+	fmt.Fprintln(w)
+}

@@ -1,0 +1,82 @@
+// Package trace records lightweight per-phase timings during a run: how
+// much time each rank spends computing particle moves, exchanging
+// particles, and load balancing. Drivers aggregate these into the run
+// statistics the experiment harness reports.
+package trace
+
+import (
+	"fmt"
+	"time"
+)
+
+// Phase labels one accounting bucket.
+type Phase int
+
+// The phases drivers account for.
+const (
+	Compute Phase = iota
+	Exchange
+	Balance
+	numPhases
+)
+
+// String names the phase.
+func (p Phase) String() string {
+	switch p {
+	case Compute:
+		return "compute"
+	case Exchange:
+		return "exchange"
+	case Balance:
+		return "balance"
+	default:
+		return fmt.Sprintf("phase(%d)", int(p))
+	}
+}
+
+// Recorder accumulates per-phase durations and counters for one rank.
+// It is not safe for concurrent use; each rank owns one.
+type Recorder struct {
+	durations [numPhases]time.Duration
+	// MaxParticles tracks the high-water mark of local particle count, the
+	// §V-B metric.
+	MaxParticles int
+	// Migrations counts LB-induced data movements (cut shifts or VP moves)
+	// observed locally.
+	Migrations int
+}
+
+// Time runs fn and charges its wall time to the phase.
+func (r *Recorder) Time(p Phase, fn func()) {
+	start := time.Now()
+	fn()
+	r.durations[p] += time.Since(start)
+}
+
+// Add charges a duration to a phase directly.
+func (r *Recorder) Add(p Phase, d time.Duration) { r.durations[p] += d }
+
+// Get returns the accumulated duration of a phase.
+func (r *Recorder) Get(p Phase) time.Duration { return r.durations[p] }
+
+// Total returns the sum over all phases.
+func (r *Recorder) Total() time.Duration {
+	var t time.Duration
+	for _, d := range r.durations {
+		t += d
+	}
+	return t
+}
+
+// ObserveParticles updates the particle high-water mark.
+func (r *Recorder) ObserveParticles(n int) {
+	if n > r.MaxParticles {
+		r.MaxParticles = n
+	}
+}
+
+// String summarizes the recorder.
+func (r *Recorder) String() string {
+	return fmt.Sprintf("compute=%v exchange=%v balance=%v maxParticles=%d migrations=%d",
+		r.durations[Compute], r.durations[Exchange], r.durations[Balance], r.MaxParticles, r.Migrations)
+}

@@ -1,0 +1,59 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTimeAccumulates(t *testing.T) {
+	var r Recorder
+	r.Time(Compute, func() { time.Sleep(2 * time.Millisecond) })
+	r.Time(Compute, func() { time.Sleep(2 * time.Millisecond) })
+	if r.Get(Compute) < 4*time.Millisecond {
+		t.Errorf("compute time %v", r.Get(Compute))
+	}
+	if r.Get(Exchange) != 0 {
+		t.Errorf("exchange should be zero, got %v", r.Get(Exchange))
+	}
+}
+
+func TestAddAndTotal(t *testing.T) {
+	var r Recorder
+	r.Add(Compute, time.Second)
+	r.Add(Exchange, 2*time.Second)
+	r.Add(Balance, 3*time.Second)
+	if r.Total() != 6*time.Second {
+		t.Errorf("total %v", r.Total())
+	}
+}
+
+func TestObserveParticles(t *testing.T) {
+	var r Recorder
+	r.ObserveParticles(10)
+	r.ObserveParticles(5)
+	r.ObserveParticles(20)
+	r.ObserveParticles(15)
+	if r.MaxParticles != 20 {
+		t.Errorf("high water %d", r.MaxParticles)
+	}
+}
+
+func TestPhaseString(t *testing.T) {
+	if Compute.String() != "compute" || Exchange.String() != "exchange" || Balance.String() != "balance" {
+		t.Error("phase names wrong")
+	}
+	if !strings.Contains(Phase(9).String(), "9") {
+		t.Error("unknown phase should include its number")
+	}
+}
+
+func TestRecorderString(t *testing.T) {
+	var r Recorder
+	r.Add(Compute, time.Second)
+	r.Migrations = 3
+	s := r.String()
+	if !strings.Contains(s, "compute=1s") || !strings.Contains(s, "migrations=3") {
+		t.Errorf("string %q", s)
+	}
+}
