@@ -8,7 +8,7 @@
 // Usage:
 //
 //	picbench               # all figures, full scale
-//	picbench -fig 6r       # one figure: 5 | 6l | 6r | 7
+//	picbench -fig 6r       # one figure: 5 | 6l | 6r | 7 | ws
 //	picbench -quick        # reduced problem sizes (minutes -> seconds)
 package main
 
@@ -24,7 +24,7 @@ import (
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "figure to regenerate: 5 | 6l | 6r | 7 | all")
+		fig     = flag.String("fig", "all", "figure to regenerate: 5 | 6l | 6r | 7 | ws | all")
 		quick   = flag.Bool("quick", false, "reduced problem sizes")
 		plot    = flag.Bool("plot", false, "also draw ASCII log-scale charts")
 		machine = flag.String("machine", "edison", "machine model: edison | fatnode")
@@ -57,6 +57,8 @@ func main() {
 		figs = append(figs, sweep.Fig6Right(mach, scale))
 	case "7":
 		figs = append(figs, sweep.Fig7(mach, scale))
+	case "ws":
+		figs = append(figs, sweep.FigWorkSteal(mach, scale))
 	case "all":
 		figs = sweep.All(mach, scale)
 	default:

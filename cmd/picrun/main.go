@@ -1,5 +1,5 @@
 // Command picrun executes one PIC PRK simulation with any of the
-// implementations — the sequential reference or the three parallel drivers
+// implementations — the sequential reference or the four parallel drivers
 // of paper §IV running on goroutine ranks — and reports timing, per-rank
 // statistics, and the self-verification verdict.
 //
@@ -8,6 +8,7 @@
 //	picrun -impl serial -L 64 -n 100000 -steps 500
 //	picrun -impl diffusion -p 8 -L 128 -n 200000 -steps 1000 -r 0.95 -every 10
 //	picrun -impl ampi -p 4 -d 8 -F 50 -L 64 -n 50000 -steps 500
+//	picrun -impl worksteal -p 4 -d 8 -F 25 -steal-threshold 0.25
 package main
 
 import (
@@ -27,7 +28,7 @@ import (
 
 func main() {
 	var (
-		impl      = flag.String("impl", "serial", "implementation: serial | baseline | diffusion | ampi")
+		impl      = flag.String("impl", "serial", "implementation: serial | baseline | diffusion | ampi | worksteal")
 		p         = flag.Int("p", 4, "number of ranks (parallel implementations)")
 		L         = flag.Int("L", 64, "domain size in cells per dimension (must be even)")
 		n         = flag.Int("n", 100000, "number of particles")
@@ -43,6 +44,7 @@ func main() {
 		d         = flag.Int("d", 4, "ampi: over-decomposition degree")
 		interval  = flag.Int("F", 50, "ampi: steps between load balancer invocations")
 		strategy  = flag.String("strategy", "refine", "ampi: refine | greedy | hinted | steal | rotate | null")
+		stealTh   = flag.Float64("steal-threshold", 0, "worksteal: hunger trigger fraction (0 = default 0.25)")
 		verify    = flag.Bool("verify", true, "verify against the closed-form solution")
 	)
 	flag.Parse()
@@ -98,6 +100,8 @@ func main() {
 			fatal(fmt.Errorf("unknown strategy %q", *strategy))
 		}
 		report(driver.RunAMPI(*p, cfg, driver.AMPIParams{Overdecompose: *d, Every: *interval, Strategy: s}))
+	case "worksteal":
+		report(driver.RunWorkSteal(*p, cfg, driver.WorkStealParams{Overdecompose: *d, Every: *interval, Threshold: *stealTh}))
 	default:
 		fatal(fmt.Errorf("unknown implementation %q", *impl))
 	}
@@ -144,9 +148,9 @@ func report(res *driver.Result, err error) {
 	}
 	fmt.Printf("LB activity: %d migrations, %d payload bytes\n", migrations, bytes)
 	for _, s := range res.PerRank {
-		fmt.Printf("  rank %2d: compute %-10v exchange %-10v balance %-10v particles %d\n",
+		fmt.Printf("  rank %2d: compute %-10v exchange %-10v balance %-10v migrate %-10v particles %d\n",
 			s.Rank, s.Compute.Round(time.Microsecond), s.Exchange.Round(time.Microsecond),
-			s.Balance.Round(time.Microsecond), s.FinalParticles)
+			s.Balance.Round(time.Microsecond), s.Migrate.Round(time.Microsecond), s.FinalParticles)
 	}
 	if res.Verified {
 		fmt.Println("verification: PASSED (closed-form positions + ID checksum)")

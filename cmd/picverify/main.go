@@ -9,6 +9,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"strings"
 	"time"
 
 	"github.com/parres/picprk/internal/core"
@@ -66,7 +68,11 @@ func main() {
 	flag.Parse()
 
 	var ps []int
-	for _, tok := range splitComma(*ranks) {
+	for _, tok := range strings.Split(*ranks, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
 		var v int
 		if _, err := fmt.Sscanf(tok, "%d", &v); err != nil || v < 1 {
 			fmt.Fprintf(os.Stderr, "picverify: bad rank count %q\n", tok)
@@ -94,6 +100,9 @@ func main() {
 			})
 			failures += check(fmt.Sprintf("%-14s ampi      P=%d", sc.name, p), ref, func() (*driver.Result, error) {
 				return driver.RunAMPI(p, sc.cfg, driver.AMPIParams{Overdecompose: 4, Every: 10})
+			})
+			failures += check(fmt.Sprintf("%-14s worksteal P=%d", sc.name, p), ref, func() (*driver.Result, error) {
+				return driver.RunWorkSteal(p, sc.cfg, driver.WorkStealParams{Overdecompose: 4, Every: 10})
 			})
 		}
 	}
@@ -144,28 +153,5 @@ func check(label string, ref []particle.Particle, run func() (*driver.Result, er
 }
 
 func sortByID(ps []particle.Particle) {
-	for i := 1; i < len(ps); i++ {
-		for j := i; j > 0 && ps[j].ID < ps[j-1].ID; j-- {
-			ps[j], ps[j-1] = ps[j-1], ps[j]
-		}
-	}
-}
-
-func splitComma(s string) []string {
-	var out []string
-	cur := ""
-	for _, r := range s {
-		if r == ',' {
-			if cur != "" {
-				out = append(out, cur)
-			}
-			cur = ""
-		} else {
-			cur += string(r)
-		}
-	}
-	if cur != "" {
-		out = append(out, cur)
-	}
-	return out
+	sort.Slice(ps, func(i, j int) bool { return ps[i].ID < ps[j].ID })
 }

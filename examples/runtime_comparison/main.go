@@ -1,5 +1,6 @@
-// Runtime comparison: all three parallel implementations of paper §IV side
-// by side on the paper's skewed workload — the small-scale, real-execution
+// Runtime comparison: all four parallel implementations side by side on the
+// paper's skewed workload — the three of paper §IV plus the work-stealing
+// driver its §VI future work sketches — the small-scale, real-execution
 // analogue of the paper's Figure 6. On a single host the goroutine ranks
 // share cores, so wall-clock times reflect overheads rather than parallel
 // speedup; the load-balance quality columns are the interesting part.
@@ -63,7 +64,10 @@ func main() {
 	run("ampi", func() (*driver.Result, error) {
 		return driver.RunAMPI(ranks, cfg, driver.AMPIParams{Overdecompose: 8, Every: 25})
 	})
+	run("worksteal", func() (*driver.Result, error) {
+		return driver.RunWorkSteal(ranks, cfg, driver.WorkStealParams{Overdecompose: 8, Every: 25})
+	})
 
-	fmt.Println("\nall three implementations produce bitwise-identical particle states;")
+	fmt.Println("\nall four implementations produce bitwise-identical particle states;")
 	fmt.Println("they differ only in where the work lives (imbalance) and what moving it costs")
 }

@@ -109,20 +109,31 @@ func (rt *Runtime) ForEach(fn func(vp VP)) {
 	}
 }
 
-// LoadBalance is the collective rebalancing step (the analogue of AMPI's
-// MPI_Migrate): all cores reduce per-VP loads, run the strategy, and
-// migrate VPs whose owner changed, PUP-serialized over the communicator.
-// It returns the number of VPs that moved globally.
-func (rt *Runtime) LoadBalance(s Strategy) (int, error) {
+// MeasureLoads is the collective load-measurement step: every core reduces
+// its local VPs' loads into the global per-VP load vector. It counts as one
+// load-balancer invocation (Stats.LBInvocations), since it is the epoch's
+// mandatory collective whether or not anything subsequently moves.
+func (rt *Runtime) MeasureLoads() []float64 {
 	rt.Stats.LBInvocations++
 	loads := make([]float64, rt.nvp)
 	for id, vp := range rt.local {
 		loads[id] = vp.Load()
 	}
-	global := comm.Allreduce(rt.c, loads, comm.Sum[float64])
-	newOwner := s.Plan(global, rt.location, rt.c.Size())
+	return comm.Allreduce(rt.c, loads, comm.Sum[float64])
+}
+
+// Locations returns a copy of the VP-to-core owner table.
+func (rt *Runtime) Locations() []int {
+	return append([]int(nil), rt.location...)
+}
+
+// Migrate moves VPs to match the given owner table, PUP-serializing each
+// departing VP over the communicator. Every core must call it with the
+// identical table (it is a pure function of globally-reduced loads in all
+// strategies). It returns the number of VPs that moved globally.
+func (rt *Runtime) Migrate(newOwner []int) (int, error) {
 	if len(newOwner) != rt.nvp {
-		return 0, fmt.Errorf("ampi: strategy %s returned %d owners for %d VPs", s.Name(), len(newOwner), rt.nvp)
+		return 0, fmt.Errorf("ampi: new owner table has %d entries for %d VPs", len(newOwner), rt.nvp)
 	}
 	me := rt.c.Rank()
 
@@ -135,7 +146,7 @@ func (rt *Runtime) LoadBalance(s Strategy) (int, error) {
 		}
 		moves++
 		if to < 0 || to >= rt.c.Size() {
-			return 0, fmt.Errorf("ampi: strategy %s moved VP %d to invalid core %d", s.Name(), vp, to)
+			return 0, fmt.Errorf("ampi: owner table moves VP %d to invalid core %d", vp, to)
 		}
 		if from == me {
 			v, ok := rt.local[vp]
@@ -170,8 +181,23 @@ func (rt *Runtime) LoadBalance(s Strategy) (int, error) {
 		rt.Stats.VPsReceived++
 		rt.Stats.BytesReceived += int64(len(buf))
 	}
-	rt.location = newOwner
+	rt.location = append(rt.location[:0], newOwner...)
 	return moves, nil
+}
+
+// LoadBalance is the collective rebalancing step (the analogue of AMPI's
+// MPI_Migrate): MeasureLoads, run the strategy, Migrate. The driver engine
+// calls the three pieces separately (the Balancer layer sits between
+// measurement and migration); this wrapper serves callers that want the
+// classic one-shot semantics. It returns the number of VPs that moved
+// globally.
+func (rt *Runtime) LoadBalance(s Strategy) (int, error) {
+	global := rt.MeasureLoads()
+	newOwner := s.Plan(global, rt.location, rt.c.Size())
+	if len(newOwner) != rt.nvp {
+		return 0, fmt.Errorf("ampi: strategy %s returned %d owners for %d VPs", s.Name(), len(newOwner), rt.nvp)
+	}
+	return rt.Migrate(newOwner)
 }
 
 // BlockPlacement returns an initial VP placement that keeps each core's

@@ -8,6 +8,7 @@ package ampi
 
 import (
 	"container/heap"
+	"math"
 	"sort"
 )
 
@@ -145,7 +146,7 @@ func (r RefineLB) Plan(loads []float64, owner []int, ncores int) []int {
 			if l <= 0 || l >= gap {
 				continue
 			}
-			d := abs(l - gap/2)
+			d := math.Abs(l - gap/2)
 			if best == -1 || d < bestDist || (d == bestDist && vp < best) {
 				best = vp
 				bestDist = d
@@ -161,13 +162,6 @@ func (r RefineLB) Plan(loads []float64, owner []int, ncores int) []int {
 		byCore[minC] = append(byCore[minC], best)
 	}
 	return out
-}
-
-func abs(v float64) float64 {
-	if v < 0 {
-		return -v
-	}
-	return v
 }
 
 func removeInt(s []int, v int) []int {

@@ -1,0 +1,82 @@
+package balance
+
+import (
+	"fmt"
+
+	"github.com/parres/picprk/internal/ampi"
+)
+
+// strategyBalancer adapts an ampi.Strategy — a pure function from measured
+// per-VP loads to a new owner table — to the Balancer interface. It is the
+// common core of AMPIBalancer and WorkStealBalancer.
+type strategyBalancer struct {
+	strategy ampi.Strategy
+	every    int
+
+	loads     Loads
+	lastStep  int
+	lastMoves int
+	history   []string
+}
+
+// Name implements Balancer.
+func (b *strategyBalancer) Name() string { return b.strategy.Name() }
+
+// Interval implements Balancer.
+func (b *strategyBalancer) Interval() int { return b.every }
+
+// Needs implements Balancer.
+func (b *strategyBalancer) Needs() Needs { return Needs{Units: true} }
+
+// Observe implements Balancer.
+func (b *strategyBalancer) Observe(l Loads) { b.loads = l }
+
+// Plan implements Balancer: run the strategy and return its owner table,
+// or an empty plan when nothing would move.
+func (b *strategyBalancer) Plan(step int) Plan {
+	b.lastStep = step
+	newOwner := b.strategy.Plan(b.loads.Units, b.loads.Owner, b.loads.Cores)
+	if len(newOwner) == len(b.loads.Owner) {
+		b.lastMoves = ampi.Moves(b.loads.Owner, newOwner)
+		if b.lastMoves == 0 {
+			return Plan{}
+		}
+	}
+	return Plan{Owner: newOwner}
+}
+
+// Apply implements Balancer.
+func (b *strategyBalancer) Apply(p Plan) {
+	if p.Empty() {
+		return
+	}
+	b.history = append(b.history, fmt.Sprintf("step=%d moves=%d %s", b.lastStep, b.lastMoves, p))
+}
+
+// History implements Balancer.
+func (b *strategyBalancer) History() []string { return b.history }
+
+// AMPIBalancer is the paper's "ampi" policy (§IV-C): every Interval steps
+// a runtime strategy reassigns over-decomposed VPs to cores from the
+// globally-reduced per-VP loads.
+type AMPIBalancer struct{ strategyBalancer }
+
+// NewAMPIBalancer builds the policy. A nil strategy selects the paper's
+// choice, RefineLB.
+func NewAMPIBalancer(s ampi.Strategy, every int) *AMPIBalancer {
+	if s == nil {
+		s = ampi.RefineLB{}
+	}
+	return &AMPIBalancer{strategyBalancer{strategy: s, every: every}}
+}
+
+// WorkStealBalancer is the demand-driven policy of the paper's §VI future
+// work: cores whose load falls below a threshold fraction of the mean
+// steal VPs from the heaviest cores. It wraps ampi.WorkStealLB.
+type WorkStealBalancer struct{ strategyBalancer }
+
+// NewWorkStealBalancer builds the policy; threshold 0 selects the
+// WorkStealLB default (0.25).
+func NewWorkStealBalancer(threshold float64, every int) *WorkStealBalancer {
+	return &WorkStealBalancer{strategyBalancer{strategy: ampi.WorkStealLB{Threshold: threshold}, every: every}}
+}

@@ -182,7 +182,7 @@ func BalanceStepGuarded(b decomp.Bounds, cellLoads []int64, p Params) (decomp.Bo
 		} else {
 			newLeft, newRight = left+moved, right-moved
 		}
-		if max64(newLeft, newRight) > max64(left, right) {
+		if max(newLeft, newRight) > max(left, right) {
 			// Overshoot: the move would worsen the pair. Moves of equal max
 			// are allowed — they occur when the border cells are empty, and
 			// repeating them lets the cut slide across an empty region
@@ -195,13 +195,6 @@ func BalanceStepGuarded(b decomp.Bounds, cellLoads []int64, p Params) (decomp.Bo
 		changed = true
 	}
 	return nb, changed
-}
-
-func max64(a, b int64) int64 {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 // BalanceToConvergence applies BalanceStep repeatedly (at most maxIter

@@ -2,17 +2,10 @@ package driver
 
 import (
 	"fmt"
-	"time"
 
 	"github.com/parres/picprk/internal/ampi"
+	"github.com/parres/picprk/internal/balance"
 	"github.com/parres/picprk/internal/comm"
-	"github.com/parres/picprk/internal/core"
-	"github.com/parres/picprk/internal/decomp"
-	"github.com/parres/picprk/internal/dist"
-	"github.com/parres/picprk/internal/grid"
-	"github.com/parres/picprk/internal/particle"
-	"github.com/parres/picprk/internal/pup"
-	"github.com/parres/picprk/internal/trace"
 )
 
 // AMPIParams tunes the runtime-orchestrated implementation: the paper's two
@@ -39,66 +32,12 @@ func (p AMPIParams) Validate() error {
 	return nil
 }
 
-// picVP is one virtual processor of the over-decomposed PIC problem: a
-// static rectangular subdomain with its materialized mesh block and the
-// particles currently inside it. Migration PUPs the entire state — particles
-// and grid data — mirroring the paper's PUP routines.
-type picVP struct {
-	id     int
-	mesh   grid.Mesh
-	x0, y0 int
-	nx, ny int
-	block  *grid.Block
-	ps     []particle.Particle
-}
-
-// VPID implements ampi.VP.
-func (v *picVP) VPID() int { return v.id }
-
-// Load implements ampi.VP: work is exactly proportional to particle count.
-func (v *picVP) Load() float64 { return float64(len(v.ps)) }
-
-// PUP implements pup.PUPable.
-func (v *picVP) PUP(p *pup.PUPer) {
-	p.Int(&v.id)
-	p.Int(&v.mesh.L)
-	p.Float64(&v.mesh.Q)
-	p.Int(&v.x0)
-	p.Int(&v.y0)
-	p.Int(&v.nx)
-	p.Int(&v.ny)
-	var data []float64
-	if p.Mode() != pup.Unpacking {
-		data = v.block.OwnedData()
-	}
-	p.Float64s(&data)
-	pup.Slice(p, &v.ps, func(p *pup.PUPer, e *particle.Particle) { e.PUP(p) })
-	if p.Mode() == pup.Unpacking && p.Err() == nil {
-		block, err := grid.NewBlockFromData(v.mesh, v.x0, v.y0, v.nx, v.ny, data)
-		if err != nil {
-			p.Fail(err)
-			return
-		}
-		v.block = block
-	}
-}
-
-// vpParcel is a bundle of particles bound for one VP, exchanged at core
-// level each step.
-type vpParcel struct {
-	VP int
-	Ps []particle.Particle
-}
-
 // RunAMPI executes the PIC PRK with the paper's "ampi" implementation
 // (§IV-C): the static 2D algorithm of §IV-A over-decomposed into d·P
 // virtual processors whose placement the runtime rebalances every F steps,
 // migrating VP state (particles and mesh block) between cores with PUP
 // serialization.
 func RunAMPI(p int, cfg Config, params AMPIParams) (*Result, error) {
-	if err := cfg.validate(p); err != nil {
-		return nil, err
-	}
 	if err := params.Validate(); err != nil {
 		return nil, err
 	}
@@ -113,209 +52,13 @@ func RunAMPI(p int, cfg Config, params AMPIParams) (*Result, error) {
 		dx, dy := comm.Dims2D(params.Overdecompose)
 		ta.SetTopology(ampi.GridNeighbors(px*dx, py*dy), 1)
 	}
-	var res *Result
-	w := comm.NewWorld(p, comm.Options{ChaosDelay: cfg.Chaos, ChaosSeed: int64(cfg.Seed)})
-	start := time.Now()
-	err := w.Run(func(c *comm.Comm) error {
-		r, err := ampiRank(c, cfg, params)
-		if err != nil {
-			return err
-		}
-		if c.Rank() == 0 {
-			res = r
-		}
-		return nil
-	})
-	if err != nil {
-		return nil, err
+	eng := &Engine{
+		Name: "ampi",
+		Cfg:  cfg,
+		Substrate: func(c *comm.Comm, cfg Config) (Substrate, error) {
+			return newVPSubstrate(c, cfg, params.Overdecompose)
+		},
+		Balancer: func() balance.Balancer { return balance.NewAMPIBalancer(params.Strategy, params.Every) },
 	}
-	res.Name = "ampi"
-	res.Elapsed = time.Since(start)
-	return res, nil
-}
-
-func ampiRank(c *comm.Comm, cfg Config, params AMPIParams) (*Result, error) {
-	p := c.Size()
-	px, py := comm.Dims2D(p)
-	dx, dy := comm.Dims2D(params.Overdecompose)
-	vx, vy := px*dx, py*dy
-	if vx > cfg.Mesh.L || vy > cfg.Mesh.L {
-		return nil, fmt.Errorf("driver: VP grid %dx%d exceeds domain %d", vx, vy, cfg.Mesh.L)
-	}
-	vg, err := decomp.NewUniform2D(cfg.Mesh.L, vx, vy)
-	if err != nil {
-		return nil, err
-	}
-	place, err := ampi.BlockPlacement(vx, vy, px, py)
-	if err != nil {
-		return nil, err
-	}
-
-	// Initialization is replicated deterministically; each core materializes
-	// only the VPs placed on it.
-	all, err := dist.Initialize(cfg.distConfig())
-	if err != nil {
-		return nil, err
-	}
-	makeLocal := func(vp int) ampi.VP {
-		x0, y0, nx, ny := vg.RankRect(vp)
-		block, err := grid.NewBlock(cfg.Mesh, x0, y0, nx, ny)
-		if err != nil {
-			panic(err) // static decomposition of a validated mesh cannot fail
-		}
-		v := &picVP{id: vp, mesh: cfg.Mesh, x0: x0, y0: y0, nx: nx, ny: ny, block: block}
-		for i := range all {
-			cx, cy := cfg.Mesh.CellOf(all[i].X, all[i].Y)
-			if vg.OwnerOfCell(cx, cy) == vp {
-				v.ps = append(v.ps, all[i])
-			}
-		}
-		return v
-	}
-	rt, err := ampi.NewRuntime(c, vx*vy, place, makeLocal, func() ampi.VP { return &picVP{} })
-	if err != nil {
-		return nil, err
-	}
-	all = nil // release the replicated copy
-
-	es := newEventState(cfg)
-	rec := &trace.Recorder{}
-	rec.ObserveParticles(localParticleCount(rt))
-
-	for step := 1; step <= cfg.Steps; step++ {
-		// Compute phase: the core's scheduler runs each local VP in turn.
-		var outbound []vpParcel
-		rec.Time(trace.Compute, func() {
-			rt.ForEach(func(avp ampi.VP) {
-				v := avp.(*picVP)
-				core.MoveAll(v.ps, v.block, cfg.Mesh)
-				kept, leaving := particle.SplitRetain(v.ps, func(pp *particle.Particle) bool {
-					cx, cy := cfg.Mesh.CellOf(pp.X, pp.Y)
-					return vg.OwnerOfCell(cx, cy) == v.id
-				}, nil)
-				v.ps = kept
-				if len(leaving) > 0 {
-					outbound = append(outbound, routeToVPs(cfg.Mesh, vg, leaving)...)
-				}
-			})
-		})
-
-		// Exchange phase: parcels are grouped by hosting core and delivered.
-		var exchErr error
-		rec.Time(trace.Exchange, func() {
-			buckets := make([][]vpParcel, p)
-			for _, parcel := range outbound {
-				dst := rt.Location(parcel.VP)
-				buckets[dst] = append(buckets[dst], parcel)
-			}
-			for _, parcels := range comm.SparseExchange(c, buckets) {
-				for _, parcel := range parcels {
-					avp := rt.Local(parcel.VP)
-					if avp == nil {
-						exchErr = fmt.Errorf("driver: parcel for VP %d arrived at core %d which does not host it", parcel.VP, c.Rank())
-						return
-					}
-					v := avp.(*picVP)
-					v.ps = append(v.ps, parcel.Ps...)
-				}
-			}
-		})
-		if exchErr != nil {
-			return nil, exchErr
-		}
-
-		// Events: removal per VP; injections routed to the owning VP if local.
-		applyEventsAMPI(cfg, &es, step, rt, vg)
-		rec.ObserveParticles(localParticleCount(rt))
-
-		if step%params.Every == 0 {
-			var lbErr error
-			rec.Time(trace.Balance, func() {
-				_, lbErr = rt.LoadBalance(params.Strategy)
-			})
-			if lbErr != nil {
-				return nil, lbErr
-			}
-		}
-	}
-
-	var ps []particle.Particle
-	rt.ForEach(func(avp ampi.VP) { ps = append(ps, avp.(*picVP).ps...) })
-	merged, verified, err := gatherAndVerify(c, cfg, ps)
-	if err != nil {
-		return nil, err
-	}
-	rec.Migrations = rt.Stats.VPsSent + rt.Stats.VPsReceived
-	res := collectResult(c, "ampi", cfg, rec, len(ps), rt.Stats.BytesSent, rec.Migrations)
-	if res != nil {
-		res.Verified = verified && (cfg.Verify || cfg.DistributedVerify)
-		if cfg.Verify {
-			res.Particles = merged
-		}
-	}
-	return res, nil
-}
-
-// routeToVPs groups leaver particles by destination VP.
-func routeToVPs(m grid.Mesh, vg *decomp.Grid2D, leaving []particle.Particle) []vpParcel {
-	byVP := map[int][]particle.Particle{}
-	for i := range leaving {
-		cx, cy := m.CellOf(leaving[i].X, leaving[i].Y)
-		dst := vg.OwnerOfCell(cx, cy)
-		byVP[dst] = append(byVP[dst], leaving[i])
-	}
-	out := make([]vpParcel, 0, len(byVP))
-	// Deterministic parcel order: ascending VP id.
-	for vp := range byVP {
-		out = append(out, vpParcel{VP: vp, Ps: byVP[vp]})
-	}
-	sortParcels(out)
-	return out
-}
-
-func sortParcels(ps []vpParcel) {
-	for i := 1; i < len(ps); i++ {
-		for j := i; j > 0 && ps[j].VP < ps[j-1].VP; j-- {
-			ps[j], ps[j-1] = ps[j-1], ps[j]
-		}
-	}
-}
-
-func applyEventsAMPI(cfg Config, es *eventState, step int, rt *ampi.Runtime, vg *decomp.Grid2D) {
-	for _, ev := range cfg.Schedule.At(step) {
-		if ev.Remove {
-			rt.ForEach(func(avp ampi.VP) {
-				v := avp.(*picVP)
-				kept := v.ps[:0]
-				for i := range v.ps {
-					if !ev.Region.ContainsPos(v.ps[i].X, v.ps[i].Y, cfg.Mesh) {
-						kept = append(kept, v.ps[i])
-					}
-				}
-				v.ps = kept
-			})
-		}
-		if ev.Inject > 0 {
-			dir := cfg.Dir
-			if dir == 0 {
-				dir = 1
-			}
-			inj := dist.InjectParticles(cfg.Mesh, ev, cfg.Seed, es.nextID, dir)
-			es.nextID += uint64(ev.Inject)
-			for i := range inj {
-				cx, cy := cfg.Mesh.CellOf(inj[i].X, inj[i].Y)
-				vp := vg.OwnerOfCell(cx, cy)
-				if avp := rt.Local(vp); avp != nil {
-					v := avp.(*picVP)
-					v.ps = append(v.ps, inj[i])
-				}
-			}
-		}
-	}
-}
-
-func localParticleCount(rt *ampi.Runtime) int {
-	n := 0
-	rt.ForEach(func(avp ampi.VP) { n += len(avp.(*picVP).ps) })
-	return n
+	return eng.Run(p)
 }

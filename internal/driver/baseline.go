@@ -2,14 +2,11 @@ package driver
 
 import (
 	"fmt"
-	"time"
 
+	"github.com/parres/picprk/internal/balance"
 	"github.com/parres/picprk/internal/comm"
-	"github.com/parres/picprk/internal/core"
-	"github.com/parres/picprk/internal/decomp"
 	"github.com/parres/picprk/internal/grid"
 	"github.com/parres/picprk/internal/particle"
-	"github.com/parres/picprk/internal/trace"
 )
 
 // RunBaseline executes the PIC PRK with the paper's "mpi-2d" reference
@@ -19,81 +16,16 @@ import (
 // balancing — with a skewed particle distribution this is the baseline that
 // the balanced implementations beat.
 func RunBaseline(p int, cfg Config) (*Result, error) {
-	if err := cfg.validate(p); err != nil {
-		return nil, err
+	eng := &Engine{
+		Name: "baseline",
+		Cfg:  cfg,
+		Substrate: func(c *comm.Comm, cfg Config) (Substrate, error) {
+			px, py := comm.Dims2D(c.Size())
+			return newBlockSubstrate(c, cfg, px, py)
+		},
+		Balancer: func() balance.Balancer { return balance.NullBalancer{} },
 	}
-	var res *Result
-	var resErr error
-	w := comm.NewWorld(p, comm.Options{ChaosDelay: cfg.Chaos, ChaosSeed: int64(cfg.Seed)})
-	start := time.Now()
-	err := w.Run(func(c *comm.Comm) error {
-		px, py := comm.Dims2D(p)
-		g, err := decomp.NewUniform2D(cfg.Mesh.L, px, py)
-		if err != nil {
-			return err
-		}
-		r, err := staticRank(c, cfg, g)
-		if c.Rank() == 0 {
-			res, resErr = r, err
-		}
-		return err
-	})
-	if err != nil {
-		return nil, err
-	}
-	if resErr != nil {
-		return nil, resErr
-	}
-	res.Name = "baseline"
-	res.Elapsed = time.Since(start)
-	return res, nil
-}
-
-// staticRank is the per-rank body shared by the baseline (static bounds
-// forever) — the diffusion driver has its own body because the
-// decomposition mutates.
-func staticRank(c *comm.Comm, cfg Config, g *decomp.Grid2D) (*Result, error) {
-	me := c.Rank()
-	x0, y0, nx, ny := g.RankRect(me)
-	block, err := grid.NewBlock(cfg.Mesh, x0, y0, nx, ny)
-	if err != nil {
-		return nil, err
-	}
-	owns := func(cx, cy int) bool { return g.OwnerOfCell(cx, cy) == me }
-	owner := func(cx, cy int) int { return g.OwnerOfCell(cx, cy) }
-
-	ps, err := initLocalParticles(cfg, owns)
-	if err != nil {
-		return nil, err
-	}
-	es := newEventState(cfg)
-	rec := &trace.Recorder{}
-	rec.ObserveParticles(len(ps))
-
-	for step := 1; step <= cfg.Steps; step++ {
-		rec.Time(trace.Compute, func() {
-			core.MoveAll(ps, block, cfg.Mesh)
-		})
-		ps = exchangeParticles(c, cfg.Mesh, ps, owner, rec)
-		ps = es.apply(cfg, step, ps, owns)
-		rec.ObserveParticles(len(ps))
-		if err := checkOwnership(cfg.Mesh, ps, owns, step); err != nil {
-			return nil, err
-		}
-	}
-
-	merged, verified, err := gatherAndVerify(c, cfg, ps)
-	if err != nil {
-		return nil, err
-	}
-	res := collectResult(c, "baseline", cfg, rec, len(ps), 0, 0)
-	if res != nil {
-		res.Verified = verified && (cfg.Verify || cfg.DistributedVerify)
-		if cfg.Verify {
-			res.Particles = merged
-		}
-	}
-	return res, nil
+	return eng.Run(p)
 }
 
 // checkOwnership asserts the exchange delivered every particle to the rank

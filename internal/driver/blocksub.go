@@ -1,0 +1,234 @@
+package driver
+
+import (
+	"github.com/parres/picprk/internal/balance"
+	"github.com/parres/picprk/internal/comm"
+	"github.com/parres/picprk/internal/core"
+	"github.com/parres/picprk/internal/decomp"
+	"github.com/parres/picprk/internal/grid"
+	"github.com/parres/picprk/internal/particle"
+	"github.com/parres/picprk/internal/trace"
+)
+
+// blockSubstrate realizes the §IV-A/§IV-B algorithm family: each rank owns
+// one rectangle of a PX×PY Cartesian-product block decomposition. With a
+// NullBalancer the decomposition is static (the "mpi-2d" baseline); with a
+// DiffusionBalancer the cut arrays move and the substrate migrates the
+// affected mesh columns/rows between neighbors ("mpi-2d-LB").
+type blockSubstrate struct {
+	c     *comm.Comm
+	cfg   Config
+	cart  *comm.Cart2D
+	g     *decomp.Grid2D
+	block *grid.Block
+	ps    []particle.Particle
+
+	migrations int
+	bytes      int64
+}
+
+func newBlockSubstrate(c *comm.Comm, cfg Config, px, py int) (*blockSubstrate, error) {
+	cart := comm.NewCart2D(c, px, py)
+	g, err := decomp.NewUniform2D(cfg.Mesh.L, px, py)
+	if err != nil {
+		return nil, err
+	}
+	x0, y0, nx, ny := g.RankRect(c.Rank())
+	block, err := grid.NewBlock(cfg.Mesh, x0, y0, nx, ny)
+	if err != nil {
+		return nil, err
+	}
+	s := &blockSubstrate{c: c, cfg: cfg, cart: cart, g: g, block: block}
+	s.ps, err = initLocalParticles(cfg, s.owns)
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func (s *blockSubstrate) owns(cx, cy int) bool { return s.g.OwnerOfCell(cx, cy) == s.c.Rank() }
+func (s *blockSubstrate) owner(cx, cy int) int { return s.g.OwnerOfCell(cx, cy) }
+
+// Move implements Substrate.
+func (s *blockSubstrate) Move() { core.MoveAll(s.ps, s.block, s.cfg.Mesh) }
+
+// Exchange implements Substrate.
+func (s *blockSubstrate) Exchange(rec *trace.Recorder) error {
+	s.ps = exchangeParticles(s.c, s.cfg.Mesh, s.ps, s.owner, rec)
+	return nil
+}
+
+// ApplyEvents implements Substrate.
+func (s *blockSubstrate) ApplyEvents(es *eventState, step int) {
+	s.ps = es.apply(s.cfg, step, s.ps, s.owns)
+}
+
+// Count implements Substrate.
+func (s *blockSubstrate) Count() int { return len(s.ps) }
+
+// Measure implements Substrate: globally reduce the per-cell-column (and,
+// for the two-phase scheme, per-cell-row) particle histograms.
+func (s *blockSubstrate) Measure(n balance.Needs) balance.Loads {
+	loads := balance.Loads{X: s.g.X, Y: s.g.Y, Cores: s.c.Size()}
+	if n.Cells {
+		hist := make([]int64, s.cfg.Mesh.L)
+		for i := range s.ps {
+			cx, _ := s.cfg.Mesh.CellOf(s.ps[i].X, s.ps[i].Y)
+			hist[cx]++
+		}
+		loads.Cells = comm.Allreduce(s.c, hist, comm.Sum[int64])
+	}
+	if n.Rows {
+		rhist := make([]int64, s.cfg.Mesh.L)
+		for i := range s.ps {
+			_, cy := s.cfg.Mesh.CellOf(s.ps[i].X, s.ps[i].Y)
+			rhist[cy]++
+		}
+		loads.Rows = comm.Allreduce(s.c, rhist, comm.Sum[int64])
+	}
+	return loads
+}
+
+// Execute implements Substrate: install the new cut arrays, shipping the
+// charge data of ceded columns/rows to the neighbors gaining them. The
+// particles themselves rehome via the engine's follow-up exchange.
+func (s *blockSubstrate) Execute(plan balance.Plan) (bool, error) {
+	if plan.X != nil {
+		ng := &decomp.Grid2D{PX: s.g.PX, PY: s.g.PY, X: plan.X.Clone(), Y: s.g.Y.Clone()}
+		nb, bytes, err := migrateColumns(s.cart, s.cfg.Mesh, s.g, ng, s.block)
+		if err != nil {
+			return false, err
+		}
+		s.bytes += bytes
+		s.migrations++
+		s.g, s.block = ng, nb
+	}
+	if plan.Y != nil {
+		ng := &decomp.Grid2D{PX: s.g.PX, PY: s.g.PY, X: s.g.X.Clone(), Y: plan.Y.Clone()}
+		nb, bytes, err := migrateRows(s.cart, s.cfg.Mesh, s.g, ng, s.block)
+		if err != nil {
+			return false, err
+		}
+		s.bytes += bytes
+		s.migrations++
+		s.g, s.block = ng, nb
+	}
+	return true, nil
+}
+
+// CheckOwnership implements Substrate.
+func (s *blockSubstrate) CheckOwnership(step int) error {
+	return checkOwnership(s.cfg.Mesh, s.ps, s.owns, step)
+}
+
+// Particles implements Substrate.
+func (s *blockSubstrate) Particles() []particle.Particle { return s.ps }
+
+// MigrationStats implements Substrate.
+func (s *blockSubstrate) MigrationStats() (int, int64) { return s.migrations, s.bytes }
+
+// colsParcel carries migrated mesh columns between row neighbors after a
+// boundary shift: the charge data of owned columns [X0, X0+W) for the
+// sender's row range.
+type colsParcel struct {
+	X0   int
+	W    int
+	Cols []float64
+}
+
+// migrateColumns rebuilds the local grid block after the x-cuts changed.
+// Each rank ships the charge data of columns it loses to the row neighbor
+// gaining them and validates what it receives against the formulaic field —
+// the data volume is what the paper charges the diffusion scheme for.
+// It returns the new block and the number of payload bytes sent.
+func migrateColumns(cart *comm.Cart2D, m grid.Mesh, old, nw *decomp.Grid2D, block *grid.Block) (*grid.Block, int64, error) {
+	me := cart.Comm.Rank()
+	row := cart.Row
+	oldX0, _, oldNX, _ := old.RankRect(me)
+	newX0, newY0, newNX, newNY := nw.RankRect(me)
+
+	// Build one parcel per row neighbor that gains columns I currently own.
+	buckets := make([][]colsParcel, row.Size())
+	var sent int64
+	for opx := 0; opx < nw.PX; opx++ {
+		if opx == cart.CX {
+			continue
+		}
+		lo := max(oldX0, nw.X.Lo(opx))
+		hi := min(oldX0+oldNX, nw.X.Hi(opx))
+		if lo >= hi {
+			continue
+		}
+		cols, err := block.ExtractColumns(lo-oldX0, hi-lo)
+		if err != nil {
+			return nil, 0, err
+		}
+		buckets[opx] = append(buckets[opx], colsParcel{X0: lo, W: hi - lo, Cols: cols})
+		sent += int64(8 * len(cols))
+	}
+	incoming := comm.SparseExchange(row, buckets)
+
+	nb, err := grid.NewBlock(m, newX0, newY0, newNX, newNY)
+	if err != nil {
+		return nil, 0, err
+	}
+	for _, parcels := range incoming {
+		for _, pc := range parcels {
+			if err := nb.ValidateColumns(pc.Cols, pc.X0); err != nil {
+				return nil, 0, err
+			}
+		}
+	}
+	return nb, sent, nil
+}
+
+// rowsParcel carries migrated mesh rows between column neighbors after a
+// y-direction boundary shift (phase 2 of the two-phase scheme).
+type rowsParcel struct {
+	Y0   int
+	H    int
+	Rows []float64
+}
+
+// migrateRows is the y-direction analogue of migrateColumns: after the
+// y-cuts changed, each rank ships the charge data of rows it loses to the
+// column neighbor gaining them and validates what it receives.
+func migrateRows(cart *comm.Cart2D, m grid.Mesh, old, nw *decomp.Grid2D, block *grid.Block) (*grid.Block, int64, error) {
+	me := cart.Comm.Rank()
+	col := cart.Col
+	_, oldY0, _, oldNY := old.RankRect(me)
+	newX0, newY0, newNX, newNY := nw.RankRect(me)
+
+	buckets := make([][]rowsParcel, col.Size())
+	var sent int64
+	for opy := 0; opy < nw.PY; opy++ {
+		if opy == cart.CY {
+			continue
+		}
+		lo := max(oldY0, nw.Y.Lo(opy))
+		hi := min(oldY0+oldNY, nw.Y.Hi(opy))
+		if lo >= hi {
+			continue
+		}
+		rows, err := block.ExtractRows(lo-oldY0, hi-lo)
+		if err != nil {
+			return nil, 0, err
+		}
+		buckets[opy] = append(buckets[opy], rowsParcel{Y0: lo, H: hi - lo, Rows: rows})
+		sent += int64(8 * len(rows))
+	}
+	incoming := comm.SparseExchange(col, buckets)
+
+	nb, err := grid.NewBlock(m, newX0, newY0, newNX, newNY)
+	if err != nil {
+		return nil, 0, err
+	}
+	for _, parcels := range incoming {
+		for _, pc := range parcels {
+			if err := nb.ValidateRows(pc.Rows, pc.Y0); err != nil {
+				return nil, 0, err
+			}
+		}
+	}
+	return nb, sent, nil
+}

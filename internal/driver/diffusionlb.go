@@ -1,24 +1,10 @@
 package driver
 
 import (
-	"time"
-
+	"github.com/parres/picprk/internal/balance"
 	"github.com/parres/picprk/internal/comm"
-	"github.com/parres/picprk/internal/core"
-	"github.com/parres/picprk/internal/decomp"
 	"github.com/parres/picprk/internal/diffusion"
-	"github.com/parres/picprk/internal/grid"
-	"github.com/parres/picprk/internal/trace"
 )
-
-// colsParcel carries migrated mesh columns between row neighbors after a
-// boundary shift: the charge data of owned columns [X0, X0+W) for the
-// sender's row range.
-type colsParcel struct {
-	X0   int
-	W    int
-	Cols []float64
-}
 
 // RunDiffusion executes the PIC PRK with the paper's "mpi-2d-LB" reference
 // implementation (§IV-B): a 2D block decomposition whose x-direction cuts
@@ -40,248 +26,16 @@ func RunDiffusion1D(p int, cfg Config, params diffusion.Params) (*Result, error)
 }
 
 func runDiffusionShaped(p, px, py int, cfg Config, params diffusion.Params) (*Result, error) {
-	if err := cfg.validate(p); err != nil {
-		return nil, err
-	}
 	if err := params.Validate(); err != nil {
 		return nil, err
 	}
-	var res *Result
-	w := comm.NewWorld(p, comm.Options{ChaosDelay: cfg.Chaos, ChaosSeed: int64(cfg.Seed)})
-	start := time.Now()
-	err := w.Run(func(c *comm.Comm) error {
-		r, err := diffusionRank(c, cfg, params, px, py)
-		if err != nil {
-			return err
-		}
-		if c.Rank() == 0 {
-			res = r
-		}
-		return nil
-	})
-	if err != nil {
-		return nil, err
+	eng := &Engine{
+		Name: "diffusion",
+		Cfg:  cfg,
+		Substrate: func(c *comm.Comm, cfg Config) (Substrate, error) {
+			return newBlockSubstrate(c, cfg, px, py)
+		},
+		Balancer: func() balance.Balancer { return &balance.DiffusionBalancer{Params: params} },
 	}
-	res.Name = "diffusion"
-	res.Elapsed = time.Since(start)
-	return res, nil
-}
-
-func diffusionRank(c *comm.Comm, cfg Config, params diffusion.Params, px, py int) (*Result, error) {
-	me := c.Rank()
-	cart := comm.NewCart2D(c, px, py)
-	g, err := decomp.NewUniform2D(cfg.Mesh.L, px, py)
-	if err != nil {
-		return nil, err
-	}
-	x0, y0, nx, ny := g.RankRect(me)
-	block, err := grid.NewBlock(cfg.Mesh, x0, y0, nx, ny)
-	if err != nil {
-		return nil, err
-	}
-	owns := func(cx, cy int) bool { return g.OwnerOfCell(cx, cy) == me }
-	owner := func(cx, cy int) int { return g.OwnerOfCell(cx, cy) }
-
-	ps, err := initLocalParticles(cfg, owns)
-	if err != nil {
-		return nil, err
-	}
-	es := newEventState(cfg)
-	rec := &trace.Recorder{}
-	rec.ObserveParticles(len(ps))
-	var bytesMigrated int64
-
-	for step := 1; step <= cfg.Steps; step++ {
-		rec.Time(trace.Compute, func() {
-			core.MoveAll(ps, block, cfg.Mesh)
-		})
-		ps = exchangeParticles(c, cfg.Mesh, ps, owner, rec)
-		ps = es.apply(cfg, step, ps, owns)
-		rec.ObserveParticles(len(ps))
-
-		if step%params.Every == 0 {
-			var changedAny bool
-			var lbErr error
-			rec.Time(trace.Balance, func() {
-				// Phase 1: balance the x-direction cuts from the globally
-				// reduced per-cell-column particle histogram; every rank
-				// computes the identical new bounds.
-				hist := make([]int64, cfg.Mesh.L)
-				for i := range ps {
-					cx, _ := cfg.Mesh.CellOf(ps[i].X, ps[i].Y)
-					hist[cx]++
-				}
-				hist = comm.Allreduce(c, hist, comm.Sum[int64])
-				if newX, changed := diffusion.BalanceStepGuarded(g.X, hist, params); changed {
-					ng := &decomp.Grid2D{PX: g.PX, PY: g.PY, X: newX, Y: g.Y.Clone()}
-					nb, bytes, err := migrateColumns(cart, cfg.Mesh, g, ng, block)
-					if err != nil {
-						lbErr = err
-						return
-					}
-					bytesMigrated += bytes
-					rec.Migrations++
-					g, block = ng, nb
-					changedAny = true
-				}
-				if !params.TwoPhase {
-					return
-				}
-				// Phase 2 (§IV-B): balance the y-direction cuts from row sums.
-				rhist := make([]int64, cfg.Mesh.L)
-				for i := range ps {
-					_, cy := cfg.Mesh.CellOf(ps[i].X, ps[i].Y)
-					rhist[cy]++
-				}
-				rhist = comm.Allreduce(c, rhist, comm.Sum[int64])
-				if newY, changed := diffusion.BalanceStepGuarded(g.Y, rhist, params); changed {
-					ng := &decomp.Grid2D{PX: g.PX, PY: g.PY, X: g.X.Clone(), Y: newY}
-					nb, bytes, err := migrateRows(cart, cfg.Mesh, g, ng, block)
-					if err != nil {
-						lbErr = err
-						return
-					}
-					bytesMigrated += bytes
-					rec.Migrations++
-					g, block = ng, nb
-					changedAny = true
-				}
-			})
-			if lbErr != nil {
-				return nil, lbErr
-			}
-			if changedAny {
-				// Particles follow the new decomposition (accounted as exchange).
-				ps = exchangeParticles(c, cfg.Mesh, ps, owner, rec)
-			}
-		}
-
-		if err := checkOwnership(cfg.Mesh, ps, owns, step); err != nil {
-			return nil, err
-		}
-	}
-
-	merged, verified, err := gatherAndVerify(c, cfg, ps)
-	if err != nil {
-		return nil, err
-	}
-	res := collectResult(c, "diffusion", cfg, rec, len(ps), bytesMigrated, rec.Migrations)
-	if res != nil {
-		res.Verified = verified && (cfg.Verify || cfg.DistributedVerify)
-		if cfg.Verify {
-			res.Particles = merged
-		}
-	}
-	return res, nil
-}
-
-// migrateColumns rebuilds the local grid block after the x-cuts changed.
-// Each rank ships the charge data of columns it loses to the row neighbor
-// gaining them and validates what it receives against the formulaic field —
-// the data volume is what the paper charges the diffusion scheme for.
-// It returns the new block and the number of payload bytes sent.
-func migrateColumns(cart *comm.Cart2D, m grid.Mesh, old, nw *decomp.Grid2D, block *grid.Block) (*grid.Block, int64, error) {
-	me := cart.Comm.Rank()
-	row := cart.Row
-	oldX0, _, oldNX, _ := old.RankRect(me)
-	newX0, newY0, newNX, newNY := nw.RankRect(me)
-
-	// Build one parcel per row neighbor that gains columns I currently own.
-	buckets := make([][]colsParcel, row.Size())
-	var sent int64
-	for opx := 0; opx < nw.PX; opx++ {
-		if opx == cart.CX {
-			continue
-		}
-		lo := maxInt(oldX0, nw.X.Lo(opx))
-		hi := minInt(oldX0+oldNX, nw.X.Hi(opx))
-		if lo >= hi {
-			continue
-		}
-		cols, err := block.ExtractColumns(lo-oldX0, hi-lo)
-		if err != nil {
-			return nil, 0, err
-		}
-		buckets[opx] = append(buckets[opx], colsParcel{X0: lo, W: hi - lo, Cols: cols})
-		sent += int64(8 * len(cols))
-	}
-	incoming := comm.SparseExchange(row, buckets)
-
-	nb, err := grid.NewBlock(m, newX0, newY0, newNX, newNY)
-	if err != nil {
-		return nil, 0, err
-	}
-	for _, parcels := range incoming {
-		for _, pc := range parcels {
-			if err := nb.ValidateColumns(pc.Cols, pc.X0); err != nil {
-				return nil, 0, err
-			}
-		}
-	}
-	return nb, sent, nil
-}
-
-// rowsParcel carries migrated mesh rows between column neighbors after a
-// y-direction boundary shift (phase 2 of the two-phase scheme).
-type rowsParcel struct {
-	Y0   int
-	H    int
-	Rows []float64
-}
-
-// migrateRows is the y-direction analogue of migrateColumns: after the
-// y-cuts changed, each rank ships the charge data of rows it loses to the
-// column neighbor gaining them and validates what it receives.
-func migrateRows(cart *comm.Cart2D, m grid.Mesh, old, nw *decomp.Grid2D, block *grid.Block) (*grid.Block, int64, error) {
-	me := cart.Comm.Rank()
-	col := cart.Col
-	_, oldY0, _, oldNY := old.RankRect(me)
-	newX0, newY0, newNX, newNY := nw.RankRect(me)
-
-	buckets := make([][]rowsParcel, col.Size())
-	var sent int64
-	for opy := 0; opy < nw.PY; opy++ {
-		if opy == cart.CY {
-			continue
-		}
-		lo := maxInt(oldY0, nw.Y.Lo(opy))
-		hi := minInt(oldY0+oldNY, nw.Y.Hi(opy))
-		if lo >= hi {
-			continue
-		}
-		rows, err := block.ExtractRows(lo-oldY0, hi-lo)
-		if err != nil {
-			return nil, 0, err
-		}
-		buckets[opy] = append(buckets[opy], rowsParcel{Y0: lo, H: hi - lo, Rows: rows})
-		sent += int64(8 * len(rows))
-	}
-	incoming := comm.SparseExchange(col, buckets)
-
-	nb, err := grid.NewBlock(m, newX0, newY0, newNX, newNY)
-	if err != nil {
-		return nil, 0, err
-	}
-	for _, parcels := range incoming {
-		for _, pc := range parcels {
-			if err := nb.ValidateRows(pc.Rows, pc.Y0); err != nil {
-				return nil, 0, err
-			}
-		}
-	}
-	return nb, sent, nil
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
-
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
+	return eng.Run(p)
 }

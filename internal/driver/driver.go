@@ -1,18 +1,26 @@
-// Package driver contains the three parallel reference implementations of
-// the PIC PRK described in paper §IV, written against the message-passing
+// Package driver contains the parallel reference implementations of the
+// PIC PRK described in paper §IV, written against the message-passing
 // runtime in internal/comm exactly as the paper's codes are written against
-// MPI:
+// MPI. One Engine owns the per-rank step pipeline (init → move → exchange →
+// events → balance → verify); each driver is the engine instantiated with a
+// Substrate (how particles and mesh data physically live on ranks) and a
+// balance.Balancer (the policy deciding when and what to move):
 //
-//   - Baseline (paper "mpi-2d"): static 2D block decomposition, no load
-//     balancing.
-//   - Diffusion (paper "mpi-2d-LB"): application-specific diffusion-based
-//     load balancing restricted to the x direction.
-//   - AMPI (paper "ampi"): over-decomposition into virtual processors with
-//     runtime-orchestrated load balancing and PUP-serialized migration.
+//   - Baseline (paper "mpi-2d"): block substrate + NullBalancer — static
+//     2D block decomposition, no load balancing.
+//   - Diffusion (paper "mpi-2d-LB"): block substrate + DiffusionBalancer —
+//     application-specific diffusion of the decomposition cuts.
+//   - AMPI (paper "ampi"): VP substrate + AMPIBalancer — over-decomposition
+//     into virtual processors with runtime-orchestrated load balancing and
+//     PUP-serialized migration.
+//   - WorkSteal (paper §VI future work): VP substrate + WorkStealBalancer —
+//     demand-driven stealing by underloaded cores.
 //
-// All three produce bitwise-identical particle states to the sequential
+// All four produce bitwise-identical particle states to the sequential
 // reference simulation (asserted by the test suite) and self-verify against
-// the closed-form solution.
+// the closed-form solution. The same Balancer implementations also drive
+// the performance model (internal/model), so modeled and real decisions
+// coincide by construction.
 package driver
 
 import (
@@ -86,8 +94,11 @@ func (cfg *Config) validate(p int) error {
 
 // RankStats reports one rank's accounting after a run.
 type RankStats struct {
-	Rank                       int
-	Compute, Exchange, Balance time.Duration
+	Rank int
+	// Compute, Exchange, Balance, Migrate are the per-phase times: particle
+	// moves, particle exchange, LB decisions (reductions + planning), and
+	// LB data movement (mesh or VP migration).
+	Compute, Exchange, Balance, Migrate time.Duration
 	// FinalParticles is the local particle count at the end of the run;
 	// MaxParticles the high-water mark over all steps (§V-B metric).
 	FinalParticles, MaxParticles int
@@ -115,6 +126,11 @@ type Result struct {
 	// cfg.Verify was requested; tests compare it bitwise against the
 	// sequential reference.
 	Particles []particle.Particle
+	// BalanceLog is rank 0's policy history: one line per executed
+	// (non-empty) balancing plan. Because plans are pure functions of
+	// globally-reduced loads, every rank's log is identical; tests compare
+	// it against the model's log to pin decision identity.
+	BalanceLog []string
 }
 
 // MaxParticlesHighWater returns the largest per-rank high-water mark.
@@ -284,6 +300,7 @@ func collectResult(c *comm.Comm, name string, cfg Config, rec *trace.Recorder, n
 		Compute:        rec.Get(trace.Compute),
 		Exchange:       rec.Get(trace.Exchange),
 		Balance:        rec.Get(trace.Balance),
+		Migrate:        rec.Get(trace.Migrate),
 		FinalParticles: nLocal,
 		MaxParticles:   rec.MaxParticles,
 		Migrations:     migrations,

@@ -1,0 +1,164 @@
+package driver
+
+import (
+	"time"
+
+	"github.com/parres/picprk/internal/balance"
+	"github.com/parres/picprk/internal/comm"
+	"github.com/parres/picprk/internal/particle"
+	"github.com/parres/picprk/internal/trace"
+)
+
+// Substrate is what a driver variant contributes to the engine: the
+// physical realization of particles and mesh data on one rank. The engine
+// owns the step pipeline and the balancing cadence; the substrate owns how
+// particles move, how leavers find their owner, and how a balance.Plan is
+// executed against real data. Two substrates exist: the block substrate
+// (static or diffusing 2D block decomposition) and the VP substrate
+// (over-decomposed virtual processors with PUP migration).
+type Substrate interface {
+	// Move advances every local particle one time step (the compute phase).
+	Move()
+	// Exchange delivers boundary-crossing particles to their owners. It is
+	// collective and accounts its time as trace.Exchange on rec.
+	Exchange(rec *trace.Recorder) error
+	// ApplyEvents fires the injection/removal events scheduled for step.
+	ApplyEvents(es *eventState, step int)
+	// Count returns the local particle count.
+	Count() int
+	// Measure collectively gathers the load observations a policy asked
+	// for. All ranks must call it with the same Needs.
+	Measure(n balance.Needs) balance.Loads
+	// Execute applies a non-empty plan: migrating mesh data and/or VP
+	// state. It returns rehome=true when particles must be re-exchanged
+	// because their owning rank may have changed (block substrate; VP
+	// migration moves particles with their VP, so it never rehomes).
+	Execute(p balance.Plan) (rehome bool, err error)
+	// CheckOwnership asserts every local particle is where the current
+	// decomposition says it belongs — a cheap per-step invariant that
+	// catches routing bugs long before verification would.
+	CheckOwnership(step int) error
+	// Particles returns the local particle set for verification.
+	Particles() []particle.Particle
+	// MigrationStats reports accumulated LB data movement: actions that
+	// moved data to or from this rank, and payload bytes sent.
+	MigrationStats() (migrations int, bytes int64)
+}
+
+// Engine runs the PIC PRK step pipeline — init, move, exchange, events,
+// balance, verify — for any combination of substrate and balancing policy.
+// All four drivers (baseline, diffusion, ampi, worksteal) are thin
+// wrappers over Engine.Run; no per-rank step loop exists outside it.
+type Engine struct {
+	// Name labels the Result ("baseline", "diffusion", ...).
+	Name string
+	// Cfg is the run configuration.
+	Cfg Config
+	// Substrate constructs one rank's substrate. It runs inside the SPMD
+	// region; collective setup (communicator splits) is allowed and must
+	// be performed by every rank in the same order.
+	Substrate func(c *comm.Comm, cfg Config) (Substrate, error)
+	// Balancer constructs one rank's policy instance. Instances must not
+	// be shared between ranks (they hold per-rank observation state).
+	Balancer func() balance.Balancer
+}
+
+// Run executes the engine on p goroutine ranks and returns rank 0's result.
+func (e *Engine) Run(p int) (*Result, error) {
+	if err := e.Cfg.validate(p); err != nil {
+		return nil, err
+	}
+	var res *Result
+	var resErr error
+	w := comm.NewWorld(p, comm.Options{ChaosDelay: e.Cfg.Chaos, ChaosSeed: int64(e.Cfg.Seed)})
+	start := time.Now()
+	err := w.Run(func(c *comm.Comm) error {
+		r, err := e.runRank(c)
+		if c.Rank() == 0 {
+			res, resErr = r, err
+		}
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	if resErr != nil {
+		return nil, resErr
+	}
+	res.Name = e.Name
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// runRank is the per-rank step pipeline shared by every driver.
+func (e *Engine) runRank(c *comm.Comm) (*Result, error) {
+	cfg := e.Cfg
+	sub, err := e.Substrate(c, cfg)
+	if err != nil {
+		return nil, err
+	}
+	bal := e.Balancer()
+	es := newEventState(cfg)
+	rec := &trace.Recorder{}
+	rec.ObserveParticles(sub.Count())
+
+	interval := bal.Interval()
+	needs := bal.Needs()
+	for step := 1; step <= cfg.Steps; step++ {
+		rec.Time(trace.Compute, func() { sub.Move() })
+		if err := sub.Exchange(rec); err != nil {
+			return nil, err
+		}
+		sub.ApplyEvents(&es, step)
+		rec.ObserveParticles(sub.Count())
+
+		if interval > 0 && step%interval == 0 {
+			// Decision side: measure loads (collective) and compute the
+			// plan; every rank reaches the identical plan from the
+			// identical globally-reduced observation.
+			var plan balance.Plan
+			rec.Time(trace.Balance, func() {
+				bal.Observe(sub.Measure(needs))
+				plan = bal.Plan(step)
+			})
+			if !plan.Empty() {
+				// Data side: execute the plan, then let the policy log it.
+				var rehome bool
+				var mErr error
+				rec.Time(trace.Migrate, func() { rehome, mErr = sub.Execute(plan) })
+				if mErr != nil {
+					return nil, mErr
+				}
+				bal.Apply(plan)
+				if rehome {
+					// Particles follow the new decomposition (accounted as
+					// exchange, like any ownership change).
+					if err := sub.Exchange(rec); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+
+		if err := sub.CheckOwnership(step); err != nil {
+			return nil, err
+		}
+	}
+
+	ps := sub.Particles()
+	merged, verified, err := gatherAndVerify(c, cfg, ps)
+	if err != nil {
+		return nil, err
+	}
+	migrations, bytes := sub.MigrationStats()
+	rec.Migrations = migrations
+	res := collectResult(c, e.Name, cfg, rec, len(ps), bytes, migrations)
+	if res != nil {
+		res.Verified = verified && (cfg.Verify || cfg.DistributedVerify)
+		if cfg.Verify {
+			res.Particles = merged
+		}
+		res.BalanceLog = bal.History()
+	}
+	return res, nil
+}

@@ -1,0 +1,285 @@
+package driver
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/parres/picprk/internal/ampi"
+	"github.com/parres/picprk/internal/balance"
+	"github.com/parres/picprk/internal/comm"
+	"github.com/parres/picprk/internal/core"
+	"github.com/parres/picprk/internal/decomp"
+	"github.com/parres/picprk/internal/dist"
+	"github.com/parres/picprk/internal/grid"
+	"github.com/parres/picprk/internal/particle"
+	"github.com/parres/picprk/internal/pup"
+	"github.com/parres/picprk/internal/trace"
+)
+
+// picVP is one virtual processor of the over-decomposed PIC problem: a
+// static rectangular subdomain with its materialized mesh block and the
+// particles currently inside it. Migration PUPs the entire state — particles
+// and grid data — mirroring the paper's PUP routines.
+type picVP struct {
+	id     int
+	mesh   grid.Mesh
+	x0, y0 int
+	nx, ny int
+	block  *grid.Block
+	ps     []particle.Particle
+}
+
+// VPID implements ampi.VP.
+func (v *picVP) VPID() int { return v.id }
+
+// Load implements ampi.VP: work is exactly proportional to particle count.
+func (v *picVP) Load() float64 { return float64(len(v.ps)) }
+
+// PUP implements pup.PUPable.
+func (v *picVP) PUP(p *pup.PUPer) {
+	p.Int(&v.id)
+	p.Int(&v.mesh.L)
+	p.Float64(&v.mesh.Q)
+	p.Int(&v.x0)
+	p.Int(&v.y0)
+	p.Int(&v.nx)
+	p.Int(&v.ny)
+	var data []float64
+	if p.Mode() != pup.Unpacking {
+		data = v.block.OwnedData()
+	}
+	p.Float64s(&data)
+	pup.Slice(p, &v.ps, func(p *pup.PUPer, e *particle.Particle) { e.PUP(p) })
+	if p.Mode() == pup.Unpacking && p.Err() == nil {
+		block, err := grid.NewBlockFromData(v.mesh, v.x0, v.y0, v.nx, v.ny, data)
+		if err != nil {
+			p.Fail(err)
+			return
+		}
+		v.block = block
+	}
+}
+
+// vpParcel is a bundle of particles bound for one VP, exchanged at core
+// level each step.
+type vpParcel struct {
+	VP int
+	Ps []particle.Particle
+}
+
+// vpSubstrate realizes the §IV-C execution model: the static 2D algorithm
+// over-decomposed into d·P virtual processors hosted by the ampi runtime,
+// with a strategy-driven Balancer deciding VP placement and PUP-serialized
+// migration executing it. It backs both the "ampi" and the "worksteal"
+// drivers.
+type vpSubstrate struct {
+	c   *comm.Comm
+	cfg Config
+	vg  *decomp.Grid2D
+	rt  *ampi.Runtime
+
+	// outbound accumulates leaver parcels during Move for Exchange to
+	// deliver.
+	outbound []vpParcel
+}
+
+func newVPSubstrate(c *comm.Comm, cfg Config, overdecompose int) (*vpSubstrate, error) {
+	p := c.Size()
+	px, py := comm.Dims2D(p)
+	dx, dy := comm.Dims2D(overdecompose)
+	vx, vy := px*dx, py*dy
+	if vx > cfg.Mesh.L || vy > cfg.Mesh.L {
+		return nil, fmt.Errorf("driver: VP grid %dx%d exceeds domain %d", vx, vy, cfg.Mesh.L)
+	}
+	vg, err := decomp.NewUniform2D(cfg.Mesh.L, vx, vy)
+	if err != nil {
+		return nil, err
+	}
+	place, err := ampi.BlockPlacement(vx, vy, px, py)
+	if err != nil {
+		return nil, err
+	}
+
+	// Initialization is replicated deterministically; each core materializes
+	// only the VPs placed on it.
+	all, err := dist.Initialize(cfg.distConfig())
+	if err != nil {
+		return nil, err
+	}
+	makeLocal := func(vp int) ampi.VP {
+		x0, y0, nx, ny := vg.RankRect(vp)
+		block, err := grid.NewBlock(cfg.Mesh, x0, y0, nx, ny)
+		if err != nil {
+			panic(err) // static decomposition of a validated mesh cannot fail
+		}
+		v := &picVP{id: vp, mesh: cfg.Mesh, x0: x0, y0: y0, nx: nx, ny: ny, block: block}
+		for i := range all {
+			cx, cy := cfg.Mesh.CellOf(all[i].X, all[i].Y)
+			if vg.OwnerOfCell(cx, cy) == vp {
+				v.ps = append(v.ps, all[i])
+			}
+		}
+		return v
+	}
+	rt, err := ampi.NewRuntime(c, vx*vy, place, makeLocal, func() ampi.VP { return &picVP{} })
+	if err != nil {
+		return nil, err
+	}
+	return &vpSubstrate{c: c, cfg: cfg, vg: vg, rt: rt}, nil
+}
+
+// Move implements Substrate: the core's scheduler runs each local VP in
+// turn; leavers are split off into parcels for the exchange phase.
+func (s *vpSubstrate) Move() {
+	s.outbound = s.outbound[:0]
+	s.rt.ForEach(func(avp ampi.VP) {
+		v := avp.(*picVP)
+		core.MoveAll(v.ps, v.block, s.cfg.Mesh)
+		kept, leaving := particle.SplitRetain(v.ps, func(pp *particle.Particle) bool {
+			cx, cy := s.cfg.Mesh.CellOf(pp.X, pp.Y)
+			return s.vg.OwnerOfCell(cx, cy) == v.id
+		}, nil)
+		v.ps = kept
+		if len(leaving) > 0 {
+			s.outbound = append(s.outbound, routeToVPs(s.cfg.Mesh, s.vg, leaving)...)
+		}
+	})
+}
+
+// Exchange implements Substrate: parcels are grouped by hosting core and
+// delivered to their destination VPs.
+func (s *vpSubstrate) Exchange(rec *trace.Recorder) error {
+	var exchErr error
+	rec.Time(trace.Exchange, func() {
+		buckets := make([][]vpParcel, s.c.Size())
+		for _, parcel := range s.outbound {
+			dst := s.rt.Location(parcel.VP)
+			buckets[dst] = append(buckets[dst], parcel)
+		}
+		s.outbound = s.outbound[:0]
+		for _, parcels := range comm.SparseExchange(s.c, buckets) {
+			for _, parcel := range parcels {
+				avp := s.rt.Local(parcel.VP)
+				if avp == nil {
+					exchErr = fmt.Errorf("driver: parcel for VP %d arrived at core %d which does not host it", parcel.VP, s.c.Rank())
+					return
+				}
+				v := avp.(*picVP)
+				v.ps = append(v.ps, parcel.Ps...)
+			}
+		}
+	})
+	return exchErr
+}
+
+// ApplyEvents implements Substrate: removal per VP; injections routed to
+// the owning VP if hosted locally.
+func (s *vpSubstrate) ApplyEvents(es *eventState, step int) {
+	for _, ev := range s.cfg.Schedule.At(step) {
+		if ev.Remove {
+			s.rt.ForEach(func(avp ampi.VP) {
+				v := avp.(*picVP)
+				kept := v.ps[:0]
+				for i := range v.ps {
+					if !ev.Region.ContainsPos(v.ps[i].X, v.ps[i].Y, s.cfg.Mesh) {
+						kept = append(kept, v.ps[i])
+					}
+				}
+				v.ps = kept
+			})
+		}
+		if ev.Inject > 0 {
+			dir := s.cfg.Dir
+			if dir == 0 {
+				dir = 1
+			}
+			inj := dist.InjectParticles(s.cfg.Mesh, ev, s.cfg.Seed, es.nextID, dir)
+			es.nextID += uint64(ev.Inject)
+			for i := range inj {
+				cx, cy := s.cfg.Mesh.CellOf(inj[i].X, inj[i].Y)
+				vp := s.vg.OwnerOfCell(cx, cy)
+				if avp := s.rt.Local(vp); avp != nil {
+					v := avp.(*picVP)
+					v.ps = append(v.ps, inj[i])
+				}
+			}
+		}
+	}
+}
+
+// Count implements Substrate.
+func (s *vpSubstrate) Count() int {
+	n := 0
+	s.rt.ForEach(func(avp ampi.VP) { n += len(avp.(*picVP).ps) })
+	return n
+}
+
+// Measure implements Substrate: the runtime's collective load reduction
+// plus a copy of the current owner table.
+func (s *vpSubstrate) Measure(n balance.Needs) balance.Loads {
+	loads := balance.Loads{Cores: s.c.Size()}
+	if n.Units {
+		loads.Units = s.rt.MeasureLoads()
+		loads.Owner = s.rt.Locations()
+	}
+	return loads
+}
+
+// Execute implements Substrate: migrate VPs to the plan's owner table.
+// Particles travel inside their VP, so no rehoming exchange is needed.
+func (s *vpSubstrate) Execute(plan balance.Plan) (bool, error) {
+	if plan.Owner == nil {
+		return false, nil
+	}
+	_, err := s.rt.Migrate(plan.Owner)
+	return false, err
+}
+
+// CheckOwnership implements Substrate: every particle must sit inside its
+// hosting VP's subdomain.
+func (s *vpSubstrate) CheckOwnership(step int) error {
+	var err error
+	s.rt.ForEach(func(avp ampi.VP) {
+		if err != nil {
+			return
+		}
+		v := avp.(*picVP)
+		for i := range v.ps {
+			cx, cy := s.cfg.Mesh.CellOf(v.ps[i].X, v.ps[i].Y)
+			if s.vg.OwnerOfCell(cx, cy) != v.id {
+				err = fmt.Errorf("driver: step %d: particle %d at cell (%d,%d) not owned by VP %d", step, v.ps[i].ID, cx, cy, v.id)
+				return
+			}
+		}
+	})
+	return err
+}
+
+// Particles implements Substrate.
+func (s *vpSubstrate) Particles() []particle.Particle {
+	var ps []particle.Particle
+	s.rt.ForEach(func(avp ampi.VP) { ps = append(ps, avp.(*picVP).ps...) })
+	return ps
+}
+
+// MigrationStats implements Substrate.
+func (s *vpSubstrate) MigrationStats() (int, int64) {
+	return s.rt.Stats.VPsSent + s.rt.Stats.VPsReceived, s.rt.Stats.BytesSent
+}
+
+// routeToVPs groups leaver particles by destination VP in ascending VP
+// order (deterministic parcel order).
+func routeToVPs(m grid.Mesh, vg *decomp.Grid2D, leaving []particle.Particle) []vpParcel {
+	byVP := map[int][]particle.Particle{}
+	for i := range leaving {
+		cx, cy := m.CellOf(leaving[i].X, leaving[i].Y)
+		dst := vg.OwnerOfCell(cx, cy)
+		byVP[dst] = append(byVP[dst], leaving[i])
+	}
+	out := make([]vpParcel, 0, len(byVP))
+	for vp := range byVP {
+		out = append(out, vpParcel{VP: vp, Ps: byVP[vp]})
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].VP < out[b].VP })
+	return out
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/parres/picprk/internal/ampi"
+	"github.com/parres/picprk/internal/balance"
 	"github.com/parres/picprk/internal/comm"
 	"github.com/parres/picprk/internal/decomp"
 	"github.com/parres/picprk/internal/diffusion"
@@ -32,20 +33,6 @@ func (o Outcome) String() string {
 		o.Seconds, o.ComputeSeconds, o.CommSeconds, o.LBSeconds, o.MaxFinalLoad, o.IdealLoad, o.Migrations)
 }
 
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
-
 // SimulateBaseline models the paper's "mpi-2d" implementation: static
 // near-square 2D block decomposition, no load balancing.
 func SimulateBaseline(m Machine, w *Workload, p, steps int) Outcome {
@@ -64,15 +51,33 @@ func SimulateBaseline(m Machine, w *Workload, p, steps int) Outcome {
 // baseline plus the diffusion-based x-direction boundary balancing of
 // §IV-B, with its three knobs (frequency, threshold, border width).
 func SimulateDiffusion(m Machine, w *Workload, p, steps int, params diffusion.Params) Outcome {
+	o, _ := SimulateDiffusionTraced(m, w, p, steps, params)
+	return o
+}
+
+// SimulateDiffusionTraced is SimulateDiffusion returning, alongside the
+// outcome, the balancing history of the policy — the very same
+// balance.DiffusionBalancer the real driver runs, fed the analytic
+// histogram instead of a particle reduction. For identical load histories
+// the returned log is identical to the driver's Result.BalanceLog, which a
+// test asserts.
+func SimulateDiffusionTraced(m Machine, w *Workload, p, steps int, params diffusion.Params) (Outcome, []string) {
 	px, py := comm.Dims2D(p)
 	xb := decomp.MustUniformBounds(w.L, px)
+	yb := decomp.MustUniformBounds(w.L, py)
+	bal := &balance.DiffusionBalancer{Params: params}
+	needs := bal.Needs()
 	out := Outcome{}
 	for s := 1; s <= steps; s++ {
 		stepRanks2D(m, w, px, py, xb, &out)
 		w.Step()
 		if s%params.Every == 0 && px > 1 {
-			hist := w.Histogram()
-			newX, changed := diffusion.BalanceStepGuarded(xb, hist, params)
+			loads := balance.Loads{X: xb, Y: yb, Cores: p, Cells: w.Histogram()}
+			if needs.Rows {
+				loads.Rows = w.RowHistogram()
+			}
+			bal.Observe(loads)
+			plan := bal.Plan(s)
 			// Decision protocol cost: the paper's scheme reduces per-block
 			// sums along each column of processors and exchanges border
 			// column loads with x-neighbors — payload O(px + Width), not the
@@ -86,7 +91,8 @@ func SimulateDiffusion(m Machine, w *Workload, p, steps int, params diffusion.Pa
 				// balancing to the x direction.
 				cost += m.AllreduceCost(p, float64(8*(py+params.Width)))
 			}
-			if changed {
+			if plan.X != nil {
+				newX := *plan.X
 				// Each moved cut ships border columns between the adjacent
 				// rank columns, one message per row of ranks; the epoch's
 				// extra time is the slowest pair's cost.
@@ -97,7 +103,7 @@ func SimulateDiffusion(m Machine, w *Workload, p, steps int, params diffusion.Pa
 				var worst float64
 				rowCells := float64(w.L) / float64(py)
 				for j := 1; j < px; j++ {
-					lo, hi := minInt(xb.Cuts[j], newX.Cuts[j]), maxInt(xb.Cuts[j], newX.Cuts[j])
+					lo, hi := min(xb.Cuts[j], newX.Cuts[j]), max(xb.Cuts[j], newX.Cuts[j])
 					if lo == hi {
 						continue
 					}
@@ -119,12 +125,42 @@ func SimulateDiffusion(m Machine, w *Workload, p, steps int, params diffusion.Pa
 				cost += worst
 				xb = newX
 			}
+			if plan.Y != nil {
+				// The analytic workload is y-uniform, so a y move is all but
+				// impossible; charge it like an x move of the same width and
+				// keep the cuts coherent regardless.
+				newY := *plan.Y
+				colCells := float64(w.L) / float64(px)
+				var worst float64
+				for j := 1; j < py; j++ {
+					lo, hi := min(yb.Cuts[j], newY.Cuts[j]), max(yb.Cuts[j], newY.Cuts[j])
+					if lo == hi {
+						continue
+					}
+					moved := w.Total() * float64(hi-lo) / float64(w.L) / float64(px)
+					bytes := float64(hi-lo)*colCells*m.BytesPerCell + moved*m.BytesPerParticle
+					for cx := 0; cx < px; cx++ {
+						a := (j-1)*px + cx
+						b := j*px + cx
+						if c := m.MsgCost(a, b, bytes); c > worst {
+							worst = c
+						}
+					}
+					out.Migrations++
+					out.BytesMigrated += bytes * float64(px)
+				}
+				cost += worst
+				yb = newY
+			}
+			if !plan.Empty() {
+				bal.Apply(plan)
+			}
 			out.Seconds += cost
 			out.LBSeconds += cost
 		}
 	}
 	finishRanks2D(w, px, py, xb, &out)
-	return out
+	return out, bal.History()
 }
 
 // stepRanks2D charges one step of the block-decomposed implementations:
@@ -140,7 +176,7 @@ func stepRanks2D(m Machine, w *Workload, px, py int, xb decomp.Bounds, out *Outc
 		// Outgoing particles: those in the trailing Speed columns cross to
 		// the next block in the drift direction; incoming from the previous.
 		width := hi - lo
-		span := minInt(w.Speed, width)
+		span := min(w.Speed, width)
 		crossOut := w.RangeSum(hi-span, hi) / pyf
 		var nx, pv int
 		if w.Dir >= 0 {
@@ -149,7 +185,7 @@ func stepRanks2D(m Machine, w *Workload, px, py int, xb decomp.Bounds, out *Outc
 			nx, pv = (cx-1+px)%px, (cx+1)%px
 		}
 		plo, phi := xb.Lo(pv), xb.Hi(pv)
-		pspan := minInt(w.Speed, phi-plo)
+		pspan := min(w.Speed, phi-plo)
 		crossIn := w.RangeSum(phi-pspan, phi) / pyf
 		for cy := 0; cy < py; cy++ {
 			me := cy*px + cx
@@ -210,9 +246,18 @@ type AMPIModelParams struct {
 // boundary traffic pays inter-node cost — the effect the paper blames for
 // the strong-scaling gap (§V-B).
 func SimulateAMPI(m Machine, w *Workload, p, steps int, params AMPIModelParams) Outcome {
+	o, _ := SimulateAMPITraced(m, w, p, steps, params)
+	return o
+}
+
+// SimulateAMPITraced is SimulateAMPI returning, alongside the outcome, the
+// balancing history of the policy — the same balance.AMPIBalancer the real
+// driver runs, fed analytic per-VP loads.
+func SimulateAMPITraced(m Machine, w *Workload, p, steps int, params AMPIModelParams) (Outcome, []string) {
 	if params.Strategy == nil {
 		params.Strategy = ampi.GreedyLB{}
 	}
+	bal := balance.NewAMPIBalancer(params.Strategy, params.Every)
 	px, py := comm.Dims2D(p)
 	dx, dy := comm.Dims2D(params.Overdecompose)
 	vx, vy := px*dx, py*dy
@@ -266,7 +311,7 @@ func SimulateAMPI(m Machine, w *Workload, p, steps int, params AMPIModelParams) 
 		// table turns these into inter-node messages.
 		for i := 0; i < vx; i++ {
 			width := vxb.Width(i)
-			span := minInt(w.Speed, width)
+			span := min(w.Speed, width)
 			cross := w.RangeSum(vxb.Hi(i)-span, vxb.Hi(i)) / vyf
 			var ni int
 			if w.Dir >= 0 {
@@ -317,8 +362,13 @@ func SimulateAMPI(m Machine, w *Workload, p, steps int, params AMPIModelParams) 
 			for vp := 0; vp < nvp; vp++ {
 				vpLoads[vp] = xload[vp%vx] / vyf
 			}
-			newOwner := params.Strategy.Plan(vpLoads, owner, p)
+			bal.Observe(balance.Loads{Units: vpLoads, Owner: owner, Cores: p})
+			plan := bal.Plan(s)
 			cost := m.AllreduceCost(p, float64(8*nvp))
+			newOwner := owner
+			if plan.Owner != nil {
+				newOwner = plan.Owner
+			}
 			extra := make([]float64, p)
 			cellsPerVP := float64(w.L) / float64(vx) * float64(w.L) / vyf
 			var intraBytes, interBytes float64
@@ -354,7 +404,10 @@ func SimulateAMPI(m Machine, w *Workload, p, steps int, params AMPIModelParams) 
 				worst = agg
 			}
 			cost += worst
-			owner = newOwner
+			if plan.Owner != nil {
+				owner = plan.Owner
+				bal.Apply(plan)
+			}
 			out.Seconds += cost
 			out.LBSeconds += cost
 		}
@@ -374,7 +427,7 @@ func SimulateAMPI(m Machine, w *Workload, p, steps int, params AMPIModelParams) 
 		}
 	}
 	out.IdealLoad = w.Total() / float64(p)
-	return out
+	return out, bal.History()
 }
 
 // SimulateSerial models the single-core run used as the speedup baseline.

@@ -130,3 +130,15 @@ func (w *Workload) Histogram() []int64 {
 	}
 	return out
 }
+
+// RowHistogram materializes the per-cell-row histogram for the two-phase
+// diffusion decision. The analytic workload is uniform in y (paper
+// §III-E1), so every row carries Total()/L particles.
+func (w *Workload) RowHistogram() []int64 {
+	out := make([]int64, w.L)
+	per := int64(w.Total()/float64(w.L) + 0.5)
+	for i := range out {
+		out[i] = per
+	}
+	return out
+}

@@ -3,6 +3,7 @@ package sweep
 import (
 	"fmt"
 
+	"github.com/parres/picprk/internal/ampi"
 	"github.com/parres/picprk/internal/dist"
 	"github.com/parres/picprk/internal/grid"
 	"github.com/parres/picprk/internal/model"
@@ -229,6 +230,61 @@ func Fig7(mach model.Machine, s Scale) *Figure {
 	return fig
 }
 
+// FigWorkSteal is the comparative-strategy study the paper's §VI proposes
+// as future work, run on the model: the VP substrate driven by GreedyLB
+// (Charm++'s classic full reassignment), RefineLB (the paper's choice) and
+// WorkStealLB (demand-driven stealing) across LB intervals F. The same
+// ampi.Strategy code runs in the real WorkSteal driver via
+// balance.WorkStealBalancer, so this figure rates the policies the drivers
+// actually execute.
+func FigWorkSteal(mach model.Machine, s Scale) *Figure {
+	L := scaled(s, 5998, 1498)
+	n := 6400000 // model cost is independent of n; keep the paper's count
+	steps := scaled(s, 6000, 1500)
+	p := scaled(s, 192, 48)
+	wf := paperWorkload(L, n)
+	fs := []int{20, 80, 320, 1280}
+
+	fig := &Figure{
+		ID:     "fig-ws",
+		Title:  "Balancing strategy comparison: global reassignment vs refinement vs work stealing (d=4)",
+		Config: fmt.Sprintf("%dx%d cells, %d particles, %d steps, %d cores, geometric r=0.999 k=0", L, L, n, steps, p),
+		XLabel: "LB interval F",
+	}
+	strategies := []struct {
+		name string
+		s    ampi.Strategy
+	}{
+		{"GreedyLB", ampi.GreedyLB{}},
+		{"RefineLB", ampi.RefineLB{}},
+		{"WorkStealLB", ampi.WorkStealLB{}},
+	}
+	var bytesMoved [3]float64
+	for i, st := range strategies {
+		ser := Series{Name: st.name, Unit: "s"}
+		for _, f := range fs {
+			o := model.SimulateAMPI(mach, wf(), p, steps, model.AMPIModelParams{Overdecompose: 4, Every: f, Strategy: st.s})
+			ser.Values = append(ser.Values, o.Seconds)
+			bytesMoved[i] += o.BytesMigrated
+		}
+		fig.Series = append(fig.Series, ser)
+		if i == 0 {
+			fig.XTicks = make([]string, len(fs))
+			for j, f := range fs {
+				fig.XTicks[j] = fmt.Sprint(f)
+			}
+		}
+	}
+	greedyBest, _ := minMax(fig.Series[0].Values)
+	stealBest, _ := minMax(fig.Series[2].Values)
+	fig.Notes = append(fig.Notes,
+		fmt.Sprintf("best WorkStealLB vs best GreedyLB: %.2fx (stealing bounds migration volume per epoch)", greedyBest/stealBest),
+		fmt.Sprintf("migration volume summed over the F-sweep: GreedyLB %.1f GB, RefineLB %.1f GB, WorkStealLB %.1f GB",
+			bytesMoved[0]/1e9, bytesMoved[1]/1e9, bytesMoved[2]/1e9),
+	)
+	return fig
+}
+
 // All returns every registered figure reproduction.
 func All(mach model.Machine, s Scale) []*Figure {
 	return []*Figure{
@@ -236,5 +292,6 @@ func All(mach model.Machine, s Scale) []*Figure {
 		Fig6Left(mach, s),
 		Fig6Right(mach, s),
 		Fig7(mach, s),
+		FigWorkSteal(mach, s),
 	}
 }

@@ -147,9 +147,36 @@ func TestAllReturnsEveryFigure(t *testing.T) {
 	for _, f := range figs {
 		ids[f.ID] = true
 	}
-	for _, want := range []string{"fig5", "fig6-left", "fig6-right", "fig7"} {
+	for _, want := range []string{"fig5", "fig6-left", "fig6-right", "fig7", "fig-ws"} {
 		if !ids[want] {
 			t.Errorf("missing %s", want)
 		}
+	}
+}
+
+func TestFigWorkStealQuickShapes(t *testing.T) {
+	fig := FigWorkSteal(model.Edison(), Quick)
+	if len(fig.Series) != 3 {
+		t.Fatalf("want 3 strategy series, got %d", len(fig.Series))
+	}
+	greedy := fig.Series[0].Values
+	ws := fig.Series[2].Values
+	if len(greedy) != 4 || len(ws) != 4 {
+		t.Fatalf("want 4 F points per series: %+v", fig.Series)
+	}
+	for _, s := range fig.Series {
+		for i, v := range s.Values {
+			if v <= 0 {
+				t.Errorf("%s F-point %d is %v", s.Name, i, v)
+			}
+		}
+	}
+	// At the most frequent interval, bounded-volume stealing must beat the
+	// full greedy reshuffle — the point of the strategy.
+	if ws[0] >= greedy[0] {
+		t.Errorf("at F=%s WorkStealLB (%v) should beat GreedyLB (%v)", fig.XTicks[0], ws[0], greedy[0])
+	}
+	if len(fig.Notes) != 2 {
+		t.Errorf("fig-ws notes: %v", fig.Notes)
 	}
 }

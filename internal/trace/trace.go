@@ -16,7 +16,12 @@ type Phase int
 const (
 	Compute Phase = iota
 	Exchange
+	// Balance is the decision side of load balancing: load reductions and
+	// plan computation.
 	Balance
+	// Migrate is the data side of load balancing: executing a plan by
+	// moving mesh columns/rows or PUP-serialized VPs between ranks.
+	Migrate
 	numPhases
 )
 
@@ -29,6 +34,8 @@ func (p Phase) String() string {
 		return "exchange"
 	case Balance:
 		return "balance"
+	case Migrate:
+		return "migrate"
 	default:
 		return fmt.Sprintf("phase(%d)", int(p))
 	}
@@ -77,6 +84,7 @@ func (r *Recorder) ObserveParticles(n int) {
 
 // String summarizes the recorder.
 func (r *Recorder) String() string {
-	return fmt.Sprintf("compute=%v exchange=%v balance=%v maxParticles=%d migrations=%d",
-		r.durations[Compute], r.durations[Exchange], r.durations[Balance], r.MaxParticles, r.Migrations)
+	return fmt.Sprintf("compute=%v exchange=%v balance=%v migrate=%v maxParticles=%d migrations=%d",
+		r.durations[Compute], r.durations[Exchange], r.durations[Balance], r.durations[Migrate],
+		r.MaxParticles, r.Migrations)
 }
