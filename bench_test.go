@@ -8,6 +8,7 @@ package picprk
 
 import (
 	"os"
+	"strconv"
 	"strings"
 	"testing"
 
@@ -189,6 +190,23 @@ func BenchmarkAblationOverdecomposition(b *testing.B) {
 
 // --- End-to-end benchmarks of the real goroutine drivers -------------------
 
+// benchWorkers resolves the per-rank move worker count for the driver
+// benchmarks: PICPRK_BENCH_WORKERS if set, else 0 (the driver default,
+// GOMAXPROCS/ranks). Set it to compare worker counts on one machine, e.g.
+// PICPRK_BENCH_WORKERS=4 go test -bench Driver -benchtime 3x.
+func benchWorkers(b *testing.B) int {
+	b.Helper()
+	v := os.Getenv("PICPRK_BENCH_WORKERS")
+	if v == "" {
+		return 0
+	}
+	w, err := strconv.Atoi(v)
+	if err != nil || w < 0 {
+		b.Fatalf("bad PICPRK_BENCH_WORKERS=%q", v)
+	}
+	return w
+}
+
 func benchConfig(b *testing.B) driver.Config {
 	b.Helper()
 	mesh, err := grid.NewMesh(64, grid.DefaultCharge)
@@ -198,6 +216,7 @@ func benchConfig(b *testing.B) driver.Config {
 	return driver.Config{
 		Mesh: mesh, N: 20000, Steps: 50,
 		Dist: dist.Geometric{R: 0.92}, Seed: 5,
+		Workers: benchWorkers(b),
 	}
 }
 
@@ -231,6 +250,19 @@ func BenchmarkDriverAMPI(b *testing.B) {
 	params := driver.AMPIParams{Overdecompose: 4, Every: 10}
 	for i := 0; i < b.N; i++ {
 		if _, err := driver.RunAMPI(4, cfg, params); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(cfg.N*cfg.Steps), "particle-steps/op")
+}
+
+// BenchmarkDriverWorkSteal measures the real work-stealing driver end to
+// end.
+func BenchmarkDriverWorkSteal(b *testing.B) {
+	cfg := benchConfig(b)
+	params := driver.WorkStealParams{Overdecompose: 4, Every: 10}
+	for i := 0; i < b.N; i++ {
+		if _, err := driver.RunWorkSteal(4, cfg, params); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,0 +1,135 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"github.com/parres/picprk/internal/diffusion"
+	"github.com/parres/picprk/internal/dist"
+	"github.com/parres/picprk/internal/driver"
+	"github.com/parres/picprk/internal/grid"
+)
+
+// The -drivers mode benchmarks the four real goroutine drivers end to end
+// (not the performance model) and writes the results as machine-readable
+// JSON, so CI can archive one BENCH_driver.json per commit and a regression
+// shows up as a diffable number instead of an anecdote.
+
+// driverBenchResult is one driver's measurement.
+type driverBenchResult struct {
+	Driver string `json:"driver"`
+	// NsPerOp is the wall time of one full run (Steps steps on Ranks ranks).
+	NsPerOp int64 `json:"ns_per_op"`
+	// AllocsPerOp / BytesPerOp cover the whole run including setup; the
+	// steady-state move phase itself is pinned to zero allocations by
+	// BenchmarkMovePhaseSteadyState in internal/core.
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	BytesPerOp  int64 `json:"bytes_per_op"`
+	// ParticleStepsPerSec is N·Steps divided by the per-op wall time — the
+	// throughput number to compare across commits and worker counts.
+	ParticleStepsPerSec float64 `json:"particle_steps_per_sec"`
+}
+
+// driverBenchReport is the BENCH_driver.json schema.
+type driverBenchReport struct {
+	GoVersion  string              `json:"go_version"`
+	GoMaxProcs int                 `json:"gomaxprocs"`
+	Ranks      int                 `json:"ranks"`
+	Workers    int                 `json:"workers"`
+	L          int                 `json:"l"`
+	N          int                 `json:"n"`
+	Steps      int                 `json:"steps"`
+	Results    []driverBenchResult `json:"results"`
+}
+
+// driverBenchConfig mirrors benchConfig in the root package's bench_test.go
+// so the JSON numbers and `go test -bench Driver` measure the same workload.
+func driverBenchConfig(workers int) (driver.Config, error) {
+	mesh, err := grid.NewMesh(64, grid.DefaultCharge)
+	if err != nil {
+		return driver.Config{}, err
+	}
+	return driver.Config{
+		Mesh: mesh, N: 20000, Steps: 50,
+		Dist: dist.Geometric{R: 0.92}, Seed: 5,
+		Workers: workers,
+	}, nil
+}
+
+// runDriverBench benchmarks every driver and writes the JSON report to path.
+func runDriverBench(ranks, workers int, path string) error {
+	cfg, err := driverBenchConfig(workers)
+	if err != nil {
+		return err
+	}
+	runs := []struct {
+		name string
+		run  func() (*driver.Result, error)
+	}{
+		{"baseline", func() (*driver.Result, error) {
+			return driver.RunBaseline(ranks, cfg)
+		}},
+		{"diffusion", func() (*driver.Result, error) {
+			return driver.RunDiffusion(ranks, cfg, diffusion.Params{Every: 5, Threshold: 0.05, Width: 2, MinWidth: 3})
+		}},
+		{"ampi", func() (*driver.Result, error) {
+			return driver.RunAMPI(ranks, cfg, driver.AMPIParams{Overdecompose: 4, Every: 10})
+		}},
+		{"worksteal", func() (*driver.Result, error) {
+			return driver.RunWorkSteal(ranks, cfg, driver.WorkStealParams{Overdecompose: 4, Every: 10})
+		}},
+	}
+
+	rep := driverBenchReport{
+		GoVersion:  runtime.Version(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Ranks:      ranks,
+		Workers:    workers,
+		L:          cfg.Mesh.L,
+		N:          cfg.N,
+		Steps:      cfg.Steps,
+	}
+	for _, d := range runs {
+		var runErr error
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := d.run(); err != nil {
+					runErr = err
+					b.Fatal(err)
+				}
+			}
+		})
+		if runErr != nil {
+			return fmt.Errorf("picbench: %s: %w", d.name, runErr)
+		}
+		nsPerOp := r.NsPerOp()
+		res := driverBenchResult{
+			Driver:      d.name,
+			NsPerOp:     nsPerOp,
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		if nsPerOp > 0 {
+			res.ParticleStepsPerSec = float64(cfg.N*cfg.Steps) / (float64(nsPerOp) / float64(time.Second))
+		}
+		rep.Results = append(rep.Results, res)
+		fmt.Printf("%-10s %12d ns/op %12d allocs/op %10.1fM particle-steps/s\n",
+			d.name, res.NsPerOp, res.AllocsPerOp, res.ParticleStepsPerSec/1e6)
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}

@@ -10,12 +10,15 @@
 //	picbench               # all figures, full scale
 //	picbench -fig 6r       # one figure: 5 | 6l | 6r | 7 | ws
 //	picbench -quick        # reduced problem sizes (minutes -> seconds)
+//	picbench -drivers      # benchmark the real drivers, write BENCH_driver.json
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"github.com/parres/picprk/internal/model"
@@ -28,8 +31,45 @@ func main() {
 		quick   = flag.Bool("quick", false, "reduced problem sizes")
 		plot    = flag.Bool("plot", false, "also draw ASCII log-scale charts")
 		machine = flag.String("machine", "edison", "machine model: edison | fatnode")
+		drivers = flag.Bool("drivers", false, "benchmark the real goroutine drivers and write a JSON report")
+		out     = flag.String("o", "BENCH_driver.json", "drivers: output path for the JSON report")
+		ranks   = flag.Int("p", 4, "drivers: number of ranks")
+		workers = flag.Int("workers", 0, "drivers: move workers per rank (0 = GOMAXPROCS/p, min 1)")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+		}()
+	}
+
+	if *drivers {
+		if err := runDriverBench(*ranks, *workers, *out); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	scale := sweep.Full
 	if *quick {
@@ -72,4 +112,9 @@ func main() {
 		}
 	}
 	fmt.Printf("regenerated %d figure(s) in %v\n", len(figs), time.Since(start).Round(time.Second))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "picbench:", err)
+	os.Exit(1)
 }

@@ -15,6 +15,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"github.com/parres/picprk/internal/ampi"
@@ -46,8 +48,35 @@ func main() {
 		strategy  = flag.String("strategy", "refine", "ampi: refine | greedy | hinted | steal | rotate | null")
 		stealTh   = flag.Float64("steal-threshold", 0, "worksteal: hunger trigger fraction (0 = default 0.25)")
 		verify    = flag.Bool("verify", true, "verify against the closed-form solution")
+		workers   = flag.Int("workers", 0, "move-phase worker goroutines per rank (0 = GOMAXPROCS/p, min 1)")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+		}()
+	}
 
 	mesh, err := grid.NewMesh(*L, grid.DefaultCharge)
 	if err != nil {
@@ -71,6 +100,7 @@ func main() {
 	cfg := driver.Config{
 		Mesh: mesh, N: *n, K: *k, M: *mVert,
 		Dist: d0, Seed: *seed, Steps: *steps, Verify: *verify,
+		Workers: *workers,
 	}
 
 	switch *impl {

@@ -57,6 +57,12 @@ type World struct {
 	mu       sync.Mutex
 	aborted  bool
 	abortErr error
+
+	// chaosInflight tracks delayed chaos-mode deliveries so Run can drain
+	// them before returning: without it every chaos Send leaks a detached
+	// goroutine that may fire after Run has returned — into a world the
+	// caller believes is finished.
+	chaosInflight sync.WaitGroup
 }
 
 // Options configures a World.
@@ -142,6 +148,10 @@ func (w *World) Run(fn func(c *Comm) error) error {
 		}()
 	}
 	wg.Wait()
+	// Drain delayed chaos deliveries: every Send a rank issued before
+	// exiting must land before Run returns, so no goroutine outlives the
+	// world (and no test sees a delivery after Run).
+	w.chaosInflight.Wait()
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	return w.abortErr
@@ -214,7 +224,9 @@ func (c *Comm) Send(dst, tag int, data any) {
 	}
 	if c.chaos != nil {
 		d := time.Duration(c.chaos.Int63n(int64(c.world.opts.ChaosDelay)))
+		c.world.chaosInflight.Add(1)
 		go func() {
+			defer c.world.chaosInflight.Done()
 			time.Sleep(d)
 			c.deliver(dst, tag, data)
 		}()

@@ -481,6 +481,34 @@ func TestChaosDelayStillCorrect(t *testing.T) {
 	}
 }
 
+// TestChaosDeliveriesDrainedBeforeRunReturns pins the in-flight tracking of
+// chaos-mode sends: rank 0 fires delayed sends at rank 1 and exits without
+// rank 1 receiving them. Every delivery must nonetheless have landed in
+// rank 1's inbox by the time Run returns — no delivery goroutine may outlive
+// the world.
+func TestChaosDeliveriesDrainedBeforeRunReturns(t *testing.T) {
+	const n = 50
+	w := NewWorld(2, Options{ChaosDelay: 5 * time.Millisecond, ChaosSeed: 7})
+	err := w.Run(func(c *Comm) error {
+		if c.Rank() == 0 {
+			for i := 0; i < n; i++ {
+				c.Send(1, 0, i)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ib := w.inboxes[1]
+	ib.mu.Lock()
+	got := len(ib.pending)
+	ib.mu.Unlock()
+	if got != n {
+		t.Fatalf("after Run: %d of %d chaos sends delivered to rank 1's inbox", got, n)
+	}
+}
+
 func BenchmarkPingPong(b *testing.B) {
 	w := NewWorld(2, Options{RecvTimeout: -1})
 	b.ResetTimer()

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"runtime"
+	"testing"
+
+	"github.com/parres/picprk/internal/dist"
+	"github.com/parres/picprk/internal/grid"
+	"github.com/parres/picprk/internal/particle"
+)
+
+// opaqueSource hides the concrete field type from the moveRange type switch,
+// forcing the generic interface-dispatched path.
+type opaqueSource struct{ src ChargeSource }
+
+func (o opaqueSource) Charge(i, j int) float64 { return o.src.Charge(i, j) }
+
+func hotpathParticles(t testing.TB, m grid.Mesh, n int) []particle.Particle {
+	t.Helper()
+	ps, err := dist.Initialize(dist.Config{Mesh: m, N: n, K: 1, M: -1, Dist: dist.Geometric{R: 0.9}, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ps
+}
+
+func assertSoAEqual(t *testing.T, want, got *SoA, label string) {
+	t.Helper()
+	if want.Len() != got.Len() {
+		t.Fatalf("%s: length %d vs %d", label, got.Len(), want.Len())
+	}
+	for i := 0; i < want.Len(); i++ {
+		if want.At(i) != got.At(i) {
+			t.Fatalf("%s: particle %d differs:\nwant %+v\ngot  %+v", label, want.Meta[i].ID, want.At(i), got.At(i))
+		}
+	}
+}
+
+// TestGenericSourceMatchesSpecialized pins the devirtualization identity:
+// the mesh and block fast paths must produce bitwise the same trajectories
+// as the generic ChargeSource path wrapping the same field.
+func TestGenericSourceMatchesSpecialized(t *testing.T) {
+	m := mesh(t, 32)
+	block, err := grid.NewBlock(m, 0, 0, m.L, m.L)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := hotpathParticles(t, m, 3000)
+	viaMesh := NewSoA(ps)
+	viaBlock := NewSoA(ps)
+	viaGenericMesh := NewSoA(ps)
+	viaGenericBlock := NewSoA(ps)
+	for step := 0; step < 60; step++ {
+		viaMesh.MoveAllSoA(m, m)
+		viaBlock.MoveAllSoA(block, m)
+		viaGenericMesh.MoveAllSoA(opaqueSource{m}, m)
+		viaGenericBlock.MoveAllSoA(opaqueSource{block}, m)
+	}
+	assertSoAEqual(t, viaGenericMesh, viaMesh, "mesh fast path vs generic")
+	assertSoAEqual(t, viaGenericBlock, viaBlock, "block fast path vs generic")
+	assertSoAEqual(t, viaGenericMesh, viaGenericBlock, "mesh vs block field")
+}
+
+// TestParallelMoveBitwiseIdentity asserts the chunked pool reproduces the
+// serial AoS loop bit for bit at every worker count, for both concrete
+// field types.
+func TestParallelMoveBitwiseIdentity(t *testing.T) {
+	m := mesh(t, 32)
+	block, err := grid.NewBlock(m, 0, 0, m.L, m.L)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Above parallelThreshold so the pool path actually engages.
+	ps := hotpathParticles(t, m, 4*parallelThreshold+37)
+	for _, src := range []struct {
+		name string
+		s    ChargeSource
+	}{{"mesh", m}, {"block", block}} {
+		ref := append([]particle.Particle(nil), ps...)
+		for step := 0; step < 25; step++ {
+			MoveAll(ref, src.s, m)
+		}
+		for _, workers := range []int{1, 2, 7} {
+			soa := NewSoA(ps)
+			pool := NewMovePool(workers)
+			for step := 0; step < 25; step++ {
+				pool.Move(soa, src.s, m)
+			}
+			pool.Close()
+			assertSoAEqual(t, NewSoA(ref), soa, src.name)
+		}
+		// The throwaway wrapper must agree too.
+		soa := NewSoA(ps)
+		for step := 0; step < 25; step++ {
+			ParallelMove(3, soa, src.s, m)
+		}
+		assertSoAEqual(t, NewSoA(ref), soa, src.name+" ParallelMove")
+	}
+}
+
+// TestChunkBounds asserts the chunk partition covers [0, n) exactly once
+// for awkward worker/particle combinations.
+func TestChunkBounds(t *testing.T) {
+	for _, tc := range []struct{ n, workers int }{
+		{0, 1}, {1, 1}, {1, 7}, {5, 7}, {7, 7}, {100, 7}, {1 << 20, 16},
+	} {
+		next := 0
+		for w := 0; w < tc.workers; w++ {
+			lo, hi := chunkBounds(tc.n, tc.workers, w)
+			if lo != next {
+				t.Fatalf("n=%d workers=%d: chunk %d starts at %d, want %d", tc.n, tc.workers, w, lo, next)
+			}
+			if hi < lo {
+				t.Fatalf("n=%d workers=%d: chunk %d inverted [%d,%d)", tc.n, tc.workers, w, lo, hi)
+			}
+			next = hi
+		}
+		if next != tc.n {
+			t.Fatalf("n=%d workers=%d: chunks end at %d", tc.n, tc.workers, next)
+		}
+	}
+}
+
+// TestMovePhaseAllocationFree pins the tentpole property: a Move on a
+// persistent pool performs zero heap allocations, for both the block and
+// (pre-boxed) mesh charge sources and at one and several workers.
+func TestMovePhaseAllocationFree(t *testing.T) {
+	m := mesh(t, 64)
+	block, err := grid.NewBlock(m, 0, 0, m.L, m.L)
+	if err != nil {
+		t.Fatal(err)
+	}
+	soa := NewSoA(hotpathParticles(t, m, 4096))
+	// Box the mesh once: converting the 16-byte Mesh value to an interface
+	// allocates, which is why the substrates hand the pool a *grid.Block.
+	var meshSrc ChargeSource = m
+	for _, workers := range []int{1, 3} {
+		pool := NewMovePool(workers)
+		for _, src := range []struct {
+			name string
+			s    ChargeSource
+		}{{"block", block}, {"mesh", meshSrc}} {
+			pool.Move(soa, src.s, m) // warm up
+			if avg := testing.AllocsPerRun(20, func() {
+				pool.Move(soa, src.s, m)
+			}); avg != 0 {
+				t.Errorf("workers=%d src=%s: %v allocs per Move, want 0", workers, src.name, avg)
+			}
+		}
+		pool.Close()
+	}
+}
+
+// BenchmarkMovePhaseSteadyState is the regression guard for the hot path:
+// ns/op tracks the kernel's speed, allocs/op must stay 0 (asserted by
+// TestMovePhaseAllocationFree; visible here via -benchmem).
+func BenchmarkMovePhaseSteadyState(b *testing.B) {
+	m := grid.MustMesh(256, 1)
+	block, err := grid.NewBlock(m, 0, 0, m.L, m.L)
+	if err != nil {
+		b.Fatal(err)
+	}
+	soa := NewSoA(hotpathParticles(b, m, 200000))
+	pool := NewMovePool(runtime.GOMAXPROCS(0))
+	defer pool.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pool.Move(soa, block, m)
+	}
+	b.ReportMetric(float64(soa.Len())*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mparticles/s")
+}

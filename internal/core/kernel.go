@@ -28,11 +28,21 @@ type ChargeSource interface {
 func Force(src ChargeSource, q, x, y float64, cx, cy int) (fx, fy float64) {
 	relx := x - float64(cx)
 	rely := y - float64(cy)
-	// Corners in fixed order: (0,0), (1,0), (0,1), (1,1).
-	fx0, fy0 := corner(src.Charge(cx, cy), q, relx, rely)
-	fx1, fy1 := corner(src.Charge(cx+1, cy), q, relx-1, rely)
-	fx2, fy2 := corner(src.Charge(cx, cy+1), q, relx, rely-1)
-	fx3, fy3 := corner(src.Charge(cx+1, cy+1), q, relx-1, rely-1)
+	return forceCorners(src.Charge(cx, cy), src.Charge(cx+1, cy), src.Charge(cx, cy+1), src.Charge(cx+1, cy+1),
+		q, relx, rely)
+}
+
+// forceCorners evaluates the four corner contributions given the corner
+// charges in fixed order — (0,0), (1,0), (0,1), (1,1) — and sums them in a
+// fixed association. Every move path (generic, mesh-specialized,
+// block-specialized) funnels through this one function, so the
+// floating-point result is bitwise identical regardless of how the corner
+// charges were obtained.
+func forceCorners(q00, q10, q01, q11, q, relx, rely float64) (fx, fy float64) {
+	fx0, fy0 := corner(q00, q, relx, rely)
+	fx1, fy1 := corner(q10, q, relx-1, rely)
+	fx2, fy2 := corner(q01, q, relx, rely-1)
+	fx3, fy3 := corner(q11, q, relx-1, rely-1)
 	return ((fx0 + fx1) + (fx2 + fx3)), ((fy0 + fy1) + (fy2 + fy3))
 }
 

@@ -64,14 +64,83 @@ func (s *SoA) Particles() []particle.Particle {
 
 // MoveAllSoA advances every particle one step, bitwise identically to
 // MoveAll on the equivalent AoS slice (the arithmetic and its order are the
-// same; only the memory layout differs).
+// same; only the memory layout and the charge-lookup specialization differ —
+// see hotpath.go).
 func (s *SoA) MoveAllSoA(src ChargeSource, m grid.Mesh) {
-	for i := range s.X {
-		cx, cy := m.CellOf(s.X[i], s.Y[i])
-		ax, ay := Force(src, s.Q[i], s.X[i], s.Y[i], cx, cy)
-		s.X[i] = m.WrapCoord(s.X[i] + s.VX[i] + 0.5*ax)
-		s.Y[i] = m.WrapCoord(s.Y[i] + s.VY[i] + 0.5*ay)
-		s.VX[i] += ax
-		s.VY[i] += ay
+	moveRange(s, 0, s.Len(), src, m)
+}
+
+// At returns particle i in AoS form.
+func (s *SoA) At(i int) particle.Particle {
+	m := s.Meta[i]
+	return particle.Particle{
+		ID: m.ID, X: s.X[i], Y: s.Y[i], VX: s.VX[i], VY: s.VY[i], Q: s.Q[i],
+		X0: m.X0, Y0: m.Y0, K: m.K, M: m.M, Dir: m.Dir, Born: m.Born,
 	}
+}
+
+// Append adds one particle.
+func (s *SoA) Append(p particle.Particle) {
+	s.X = append(s.X, p.X)
+	s.Y = append(s.Y, p.Y)
+	s.VX = append(s.VX, p.VX)
+	s.VY = append(s.VY, p.VY)
+	s.Q = append(s.Q, p.Q)
+	s.Meta = append(s.Meta, SoAMeta{ID: p.ID, X0: p.X0, Y0: p.Y0, K: p.K, M: p.M, Dir: p.Dir, Born: p.Born})
+}
+
+// AppendAll adds every particle of ps.
+func (s *SoA) AppendAll(ps []particle.Particle) {
+	for i := range ps {
+		s.Append(ps[i])
+	}
+}
+
+// Copy copies slot i onto slot w (the in-place compaction primitive).
+func (s *SoA) Copy(w, i int) {
+	if w == i {
+		return
+	}
+	s.X[w], s.Y[w] = s.X[i], s.Y[i]
+	s.VX[w], s.VY[w] = s.VX[i], s.VY[i]
+	s.Q[w] = s.Q[i]
+	s.Meta[w] = s.Meta[i]
+}
+
+// Truncate shortens the container to n particles, keeping capacity.
+func (s *SoA) Truncate(n int) {
+	s.X, s.Y = s.X[:n], s.Y[:n]
+	s.VX, s.VY = s.VX[:n], s.VY[:n]
+	s.Q = s.Q[:n]
+	s.Meta = s.Meta[:n]
+}
+
+// SplitRetain compacts s in place, keeping particles for which keep returns
+// true (order preserved) and appending the rest, in AoS form, to moved.
+// Passing a reused moved buffer makes the steady-state exchange split
+// allocation-free.
+func (s *SoA) SplitRetain(keep func(i int) bool, moved []particle.Particle) []particle.Particle {
+	w := 0
+	for i := range s.X {
+		if keep(i) {
+			s.Copy(w, i)
+			w++
+		} else {
+			moved = append(moved, s.At(i))
+		}
+	}
+	s.Truncate(w)
+	return moved
+}
+
+// Filter keeps only the particles for which keep returns true, in place.
+func (s *SoA) Filter(keep func(i int) bool) {
+	w := 0
+	for i := range s.X {
+		if keep(i) {
+			s.Copy(w, i)
+			w++
+		}
+	}
+	s.Truncate(w)
 }

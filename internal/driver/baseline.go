@@ -1,12 +1,8 @@
 package driver
 
 import (
-	"fmt"
-
 	"github.com/parres/picprk/internal/balance"
 	"github.com/parres/picprk/internal/comm"
-	"github.com/parres/picprk/internal/grid"
-	"github.com/parres/picprk/internal/particle"
 )
 
 // RunBaseline executes the PIC PRK with the paper's "mpi-2d" reference
@@ -26,17 +22,4 @@ func RunBaseline(p int, cfg Config) (*Result, error) {
 		Balancer: func() balance.Balancer { return balance.NullBalancer{} },
 	}
 	return eng.Run(p)
-}
-
-// checkOwnership asserts the exchange delivered every particle to the rank
-// that owns its cell — a cheap invariant that catches routing bugs long
-// before the final verification would.
-func checkOwnership(m grid.Mesh, ps []particle.Particle, owns func(cx, cy int) bool, step int) error {
-	for i := range ps {
-		cx, cy := m.CellOf(ps[i].X, ps[i].Y)
-		if !owns(cx, cy) {
-			return fmt.Errorf("driver: step %d: particle %d at cell (%d,%d) not owned here", step, ps[i].ID, cx, cy)
-		}
-	}
-	return nil
 }

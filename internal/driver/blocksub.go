@@ -1,6 +1,9 @@
 package driver
 
 import (
+	"fmt"
+	"time"
+
 	"github.com/parres/picprk/internal/balance"
 	"github.com/parres/picprk/internal/comm"
 	"github.com/parres/picprk/internal/core"
@@ -15,13 +18,23 @@ import (
 // NullBalancer the decomposition is static (the "mpi-2d" baseline); with a
 // DiffusionBalancer the cut arrays move and the substrate migrates the
 // affected mesh columns/rows between neighbors ("mpi-2d-LB").
+//
+// Particles live in an SoA container and move through a persistent worker
+// pool; the exchange and measurement phases reuse their scratch buffers, so
+// a steady-state step (no events, no balancing) stays off the allocator.
 type blockSubstrate struct {
 	c     *comm.Comm
 	cfg   Config
 	cart  *comm.Cart2D
 	g     *decomp.Grid2D
 	block *grid.Block
-	ps    []particle.Particle
+	soa   *core.SoA
+	pool  *core.MovePool
+
+	// Reused steady-state scratch: double-buffered exchange buckets (see
+	// sendBuckets for why two generations suffice) and the load histograms.
+	buckets     sendBuckets[particle.Particle]
+	hist, rhist []int64
 
 	migrations int
 	bytes      int64
@@ -38,53 +51,89 @@ func newBlockSubstrate(c *comm.Comm, cfg Config, px, py int) (*blockSubstrate, e
 	if err != nil {
 		return nil, err
 	}
-	s := &blockSubstrate{c: c, cfg: cfg, cart: cart, g: g, block: block}
-	s.ps, err = initLocalParticles(cfg, s.owns)
+	s := &blockSubstrate{
+		c: c, cfg: cfg, cart: cart, g: g, block: block,
+		hist:  make([]int64, cfg.Mesh.L),
+		rhist: make([]int64, cfg.Mesh.L),
+	}
+	ps, err := initLocalParticles(cfg, s.owns)
 	if err != nil {
 		return nil, err
 	}
+	s.soa = core.NewSoA(ps)
+	s.pool = core.NewMovePool(cfg.effectiveWorkers(c.Size()))
 	return s, nil
 }
 
 func (s *blockSubstrate) owns(cx, cy int) bool { return s.g.OwnerOfCell(cx, cy) == s.c.Rank() }
-func (s *blockSubstrate) owner(cx, cy int) int { return s.g.OwnerOfCell(cx, cy) }
 
-// Move implements Substrate.
-func (s *blockSubstrate) Move() { core.MoveAll(s.ps, s.block, s.cfg.Mesh) }
+// Move implements Substrate: the pool advances disjoint SoA chunks in
+// parallel against the local materialized block (the devirtualized fast
+// path — see core/hotpath.go).
+func (s *blockSubstrate) Move() { s.pool.Move(s.soa, s.block, s.cfg.Mesh) }
 
-// Exchange implements Substrate.
+// Exchange implements Substrate: one pass compacts stayers in place and
+// buckets leavers by owner rank, then a sparse exchange delivers them. The
+// loop is written without closures and the buckets are double-buffered so
+// the steady state allocates nothing beyond the collective's own bookkeeping.
 func (s *blockSubstrate) Exchange(rec *trace.Recorder) error {
-	s.ps = exchangeParticles(s.c, s.cfg.Mesh, s.ps, s.owner, rec)
+	start := time.Now()
+	me := s.c.Rank()
+	mesh := s.cfg.Mesh
+	soa := s.soa
+	buckets := s.buckets.next(s.c.Size())
+	w := 0
+	for i := 0; i < soa.Len(); i++ {
+		cx, cy := mesh.CellOf(soa.X[i], soa.Y[i])
+		dst := s.g.OwnerOfCell(cx, cy)
+		if dst == me {
+			soa.Copy(w, i)
+			w++
+		} else {
+			buckets[dst] = append(buckets[dst], soa.At(i))
+		}
+	}
+	soa.Truncate(w)
+	for src, b := range comm.SparseExchange(s.c, buckets) {
+		if src == me {
+			continue // self bucket is always empty here
+		}
+		soa.AppendAll(b)
+	}
+	rec.Add(trace.Exchange, time.Since(start))
 	return nil
 }
 
 // ApplyEvents implements Substrate.
 func (s *blockSubstrate) ApplyEvents(es *eventState, step int) {
-	s.ps = es.apply(s.cfg, step, s.ps, s.owns)
+	es.applySoA(s.cfg, step, s.soa, s.owns)
 }
 
 // Count implements Substrate.
-func (s *blockSubstrate) Count() int { return len(s.ps) }
+func (s *blockSubstrate) Count() int { return s.soa.Len() }
 
 // Measure implements Substrate: globally reduce the per-cell-column (and,
-// for the two-phase scheme, per-cell-row) particle histograms.
+// for the two-phase scheme, per-cell-row) particle histograms. Both
+// histograms are filled in one pass over the particles into reused buffers;
+// the reduction returns fresh slices, so handing them to the policy is safe.
 func (s *blockSubstrate) Measure(n balance.Needs) balance.Loads {
 	loads := balance.Loads{X: s.g.X, Y: s.g.Y, Cores: s.c.Size()}
+	if !n.Cells && !n.Rows {
+		return loads
+	}
+	clear(s.hist)
+	clear(s.rhist)
+	soa, mesh := s.soa, s.cfg.Mesh
+	for i := 0; i < soa.Len(); i++ {
+		cx, cy := mesh.CellOf(soa.X[i], soa.Y[i])
+		s.hist[cx]++
+		s.rhist[cy]++
+	}
 	if n.Cells {
-		hist := make([]int64, s.cfg.Mesh.L)
-		for i := range s.ps {
-			cx, _ := s.cfg.Mesh.CellOf(s.ps[i].X, s.ps[i].Y)
-			hist[cx]++
-		}
-		loads.Cells = comm.Allreduce(s.c, hist, comm.Sum[int64])
+		loads.Cells = comm.Allreduce(s.c, s.hist, comm.Sum[int64])
 	}
 	if n.Rows {
-		rhist := make([]int64, s.cfg.Mesh.L)
-		for i := range s.ps {
-			_, cy := s.cfg.Mesh.CellOf(s.ps[i].X, s.ps[i].Y)
-			rhist[cy]++
-		}
-		loads.Rows = comm.Allreduce(s.c, rhist, comm.Sum[int64])
+		loads.Rows = comm.Allreduce(s.c, s.rhist, comm.Sum[int64])
 	}
 	return loads
 }
@@ -118,14 +167,24 @@ func (s *blockSubstrate) Execute(plan balance.Plan) (bool, error) {
 
 // CheckOwnership implements Substrate.
 func (s *blockSubstrate) CheckOwnership(step int) error {
-	return checkOwnership(s.cfg.Mesh, s.ps, s.owns, step)
+	soa, mesh := s.soa, s.cfg.Mesh
+	for i := 0; i < soa.Len(); i++ {
+		cx, cy := mesh.CellOf(soa.X[i], soa.Y[i])
+		if !s.owns(cx, cy) {
+			return fmt.Errorf("driver: step %d: particle %d at cell (%d,%d) not owned here", step, soa.Meta[i].ID, cx, cy)
+		}
+	}
+	return nil
 }
 
 // Particles implements Substrate.
-func (s *blockSubstrate) Particles() []particle.Particle { return s.ps }
+func (s *blockSubstrate) Particles() []particle.Particle { return s.soa.Particles() }
 
 // MigrationStats implements Substrate.
 func (s *blockSubstrate) MigrationStats() (int, int64) { return s.migrations, s.bytes }
+
+// Close implements Substrate.
+func (s *blockSubstrate) Close() { s.pool.Close() }
 
 // colsParcel carries migrated mesh columns between row neighbors after a
 // boundary shift: the charge data of owned columns [X0, X0+W) for the

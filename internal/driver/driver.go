@@ -25,6 +25,7 @@ package driver
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"time"
 
@@ -67,6 +68,23 @@ type Config struct {
 	// duration up to this bound — a stress mode that shakes out ordering
 	// assumptions in the exchange and migration protocols.
 	Chaos time.Duration
+	// Workers is the number of worker goroutines each rank uses for the
+	// move phase (intra-rank shared-memory parallelism). 0 selects the
+	// default, GOMAXPROCS/ranks with a minimum of 1. Particle updates are
+	// independent, so results are bitwise identical at any worker count.
+	Workers int
+}
+
+// effectiveWorkers resolves the per-rank move worker count.
+func (cfg *Config) effectiveWorkers(ranks int) int {
+	if cfg.Workers > 0 {
+		return cfg.Workers
+	}
+	w := runtime.GOMAXPROCS(0) / ranks
+	if w < 1 {
+		w = 1
+	}
+	return w
 }
 
 func (cfg *Config) distConfig() dist.Config {
@@ -85,6 +103,9 @@ func (cfg *Config) validate(p int) error {
 	}
 	if p <= 0 {
 		return fmt.Errorf("driver: need at least one rank")
+	}
+	if cfg.Workers < 0 {
+		return fmt.Errorf("driver: negative move worker count %d", cfg.Workers)
 	}
 	if err := cfg.Schedule.Validate(cfg.Mesh); err != nil {
 		return err
@@ -205,31 +226,70 @@ func (es *eventState) apply(cfg Config, step int, ps []particle.Particle, owns f
 	return ps
 }
 
-// exchangeParticles sends every particle to its owner rank and returns the
-// retained-plus-received set. owner maps a cell to a rank; rec accounts the
-// time as exchange.
-func exchangeParticles(c *comm.Comm, m grid.Mesh, ps []particle.Particle, owner func(cx, cy int) int, rec *trace.Recorder) []particle.Particle {
-	var out []particle.Particle
-	rec.Time(trace.Exchange, func() {
-		me := c.Rank()
-		retained, leaving := particle.SplitRetain(ps, func(p *particle.Particle) bool {
-			cx, cy := m.CellOf(p.X, p.Y)
-			return owner(cx, cy) == me
-		}, nil)
-		buckets := particle.Partition(leaving, c.Size(), func(p *particle.Particle) int {
-			cx, cy := m.CellOf(p.X, p.Y)
-			return owner(cx, cy)
-		})
-		incoming := comm.SparseExchange(c, buckets)
-		out = retained
-		for src, b := range incoming {
-			if src == me {
-				continue // self bucket is always empty here
-			}
-			out = append(out, b...)
+// applySoA is eventState.apply against an SoA particle store: removal scans
+// the local particles in place; injection recomputes the deterministic
+// global injection list and appends the locally-owned ones. Every rank
+// advances nextID identically.
+func (es *eventState) applySoA(cfg Config, step int, s *core.SoA, owns func(cx, cy int) bool) {
+	for _, ev := range cfg.Schedule.At(step) {
+		if ev.Remove {
+			region := ev.Region
+			s.Filter(func(i int) bool {
+				return !region.ContainsPos(s.X[i], s.Y[i], cfg.Mesh)
+			})
 		}
-	})
-	return out
+		if ev.Inject > 0 {
+			dir := cfg.Dir
+			if dir == 0 {
+				dir = 1
+			}
+			inj := dist.InjectParticles(cfg.Mesh, ev, cfg.Seed, es.nextID, dir)
+			es.nextID += uint64(ev.Inject)
+			for i := range inj {
+				cx, cy := cfg.Mesh.CellOf(inj[i].X, inj[i].Y)
+				if owns(cx, cy) {
+					s.Append(inj[i])
+				}
+			}
+		}
+	}
+}
+
+// sendBuckets is a double-buffered set of per-destination send buckets for
+// the step exchange, so the steady state refills existing backing arrays
+// instead of allocating fresh ones.
+//
+// Why double buffering is enough: comm.Send transfers ownership of the
+// bucket slice to the receiver, so a bucket must not be refilled while a
+// receiver could still be reading it. SparseExchange begins with an
+// allreduce, which no rank completes before every rank has entered it —
+// and a rank only enters exchange k+1's allreduce after it finished
+// receiving (and copying out) exchange k's buckets. A sender fills buckets
+// for exchange k+2 only after completing exchange k+1, i.e. after its
+// allreduce completed, i.e. after every receiver finished reading exchange
+// k. Alternating two generations therefore never overwrites a bucket that
+// is still in flight, even under chaos-mode delivery delays (a delayed
+// delivery delays the receiver's progress, and with it every later
+// allreduce). TestDriversUnderChaos and TestAllPoliciesUnderChaos exercise
+// exactly this.
+type sendBuckets[T any] struct {
+	gens [2][][]T
+	gen  int
+}
+
+// next returns the older generation's buckets, emptied and sized for p
+// destinations, and flips the generation.
+func (b *sendBuckets[T]) next(p int) [][]T {
+	cur := b.gens[b.gen]
+	if len(cur) != p {
+		cur = make([][]T, p)
+		b.gens[b.gen] = cur
+	}
+	b.gen = 1 - b.gen
+	for i := range cur {
+		cur[i] = cur[i][:0]
+	}
+	return cur
 }
 
 // distributedVerify is the parallel verification of paper §III-D: local

@@ -3,6 +3,7 @@ package driver
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"github.com/parres/picprk/internal/ampi"
 	"github.com/parres/picprk/internal/balance"
@@ -18,22 +19,23 @@ import (
 
 // picVP is one virtual processor of the over-decomposed PIC problem: a
 // static rectangular subdomain with its materialized mesh block and the
-// particles currently inside it. Migration PUPs the entire state — particles
-// and grid data — mirroring the paper's PUP routines.
+// particles currently inside it, stored SoA for the move kernel. Migration
+// PUPs the entire state — particles and grid data — mirroring the paper's
+// PUP routines (particles travel in AoS form on the wire).
 type picVP struct {
 	id     int
 	mesh   grid.Mesh
 	x0, y0 int
 	nx, ny int
 	block  *grid.Block
-	ps     []particle.Particle
+	soa    *core.SoA
 }
 
 // VPID implements ampi.VP.
 func (v *picVP) VPID() int { return v.id }
 
 // Load implements ampi.VP: work is exactly proportional to particle count.
-func (v *picVP) Load() float64 { return float64(len(v.ps)) }
+func (v *picVP) Load() float64 { return float64(v.soa.Len()) }
 
 // PUP implements pup.PUPable.
 func (v *picVP) PUP(p *pup.PUPer) {
@@ -45,11 +47,13 @@ func (v *picVP) PUP(p *pup.PUPer) {
 	p.Int(&v.nx)
 	p.Int(&v.ny)
 	var data []float64
+	var ps []particle.Particle
 	if p.Mode() != pup.Unpacking {
 		data = v.block.OwnedData()
+		ps = v.soa.Particles()
 	}
 	p.Float64s(&data)
-	pup.Slice(p, &v.ps, func(p *pup.PUPer, e *particle.Particle) { e.PUP(p) })
+	pup.Slice(p, &ps, func(p *pup.PUPer, e *particle.Particle) { e.PUP(p) })
 	if p.Mode() == pup.Unpacking && p.Err() == nil {
 		block, err := grid.NewBlockFromData(v.mesh, v.x0, v.y0, v.nx, v.ny, data)
 		if err != nil {
@@ -57,6 +61,7 @@ func (v *picVP) PUP(p *pup.PUPer) {
 			return
 		}
 		v.block = block
+		v.soa = core.NewSoA(ps)
 	}
 }
 
@@ -73,14 +78,19 @@ type vpParcel struct {
 // migration executing it. It backs both the "ampi" and the "worksteal"
 // drivers.
 type vpSubstrate struct {
-	c   *comm.Comm
-	cfg Config
-	vg  *decomp.Grid2D
-	rt  *ampi.Runtime
+	c    *comm.Comm
+	cfg  Config
+	vg   *decomp.Grid2D
+	rt   *ampi.Runtime
+	pool *core.MovePool
 
 	// outbound accumulates leaver parcels during Move for Exchange to
-	// deliver.
+	// deliver; moved is the reused AoS scratch the per-VP split compacts
+	// leavers into; buckets is the double-buffered per-core parcel store
+	// (see sendBuckets).
 	outbound []vpParcel
+	moved    []particle.Particle
+	buckets  sendBuckets[vpParcel]
 }
 
 func newVPSubstrate(c *comm.Comm, cfg Config, overdecompose int) (*vpSubstrate, error) {
@@ -113,63 +123,65 @@ func newVPSubstrate(c *comm.Comm, cfg Config, overdecompose int) (*vpSubstrate, 
 			panic(err) // static decomposition of a validated mesh cannot fail
 		}
 		v := &picVP{id: vp, mesh: cfg.Mesh, x0: x0, y0: y0, nx: nx, ny: ny, block: block}
+		var ps []particle.Particle
 		for i := range all {
 			cx, cy := cfg.Mesh.CellOf(all[i].X, all[i].Y)
 			if vg.OwnerOfCell(cx, cy) == vp {
-				v.ps = append(v.ps, all[i])
+				ps = append(ps, all[i])
 			}
 		}
+		v.soa = core.NewSoA(ps)
 		return v
 	}
 	rt, err := ampi.NewRuntime(c, vx*vy, place, makeLocal, func() ampi.VP { return &picVP{} })
 	if err != nil {
 		return nil, err
 	}
-	return &vpSubstrate{c: c, cfg: cfg, vg: vg, rt: rt}, nil
+	pool := core.NewMovePool(cfg.effectiveWorkers(c.Size()))
+	return &vpSubstrate{c: c, cfg: cfg, vg: vg, rt: rt, pool: pool}, nil
 }
 
 // Move implements Substrate: the core's scheduler runs each local VP in
-// turn; leavers are split off into parcels for the exchange phase.
+// turn through the shared worker pool; leavers are split off into parcels
+// for the exchange phase. The split reuses the AoS scratch buffer — the
+// parcels copy the leavers out, so refilling it next VP is safe.
 func (s *vpSubstrate) Move() {
 	s.outbound = s.outbound[:0]
 	s.rt.ForEach(func(avp ampi.VP) {
 		v := avp.(*picVP)
-		core.MoveAll(v.ps, v.block, s.cfg.Mesh)
-		kept, leaving := particle.SplitRetain(v.ps, func(pp *particle.Particle) bool {
-			cx, cy := s.cfg.Mesh.CellOf(pp.X, pp.Y)
+		s.pool.Move(v.soa, v.block, s.cfg.Mesh)
+		s.moved = s.moved[:0]
+		s.moved = v.soa.SplitRetain(func(i int) bool {
+			cx, cy := s.cfg.Mesh.CellOf(v.soa.X[i], v.soa.Y[i])
 			return s.vg.OwnerOfCell(cx, cy) == v.id
-		}, nil)
-		v.ps = kept
-		if len(leaving) > 0 {
-			s.outbound = append(s.outbound, routeToVPs(s.cfg.Mesh, s.vg, leaving)...)
+		}, s.moved)
+		if len(s.moved) > 0 {
+			s.outbound = append(s.outbound, routeToVPs(s.cfg.Mesh, s.vg, s.moved)...)
 		}
 	})
 }
 
-// Exchange implements Substrate: parcels are grouped by hosting core and
-// delivered to their destination VPs.
+// Exchange implements Substrate: parcels are grouped by hosting core into
+// double-buffered buckets and delivered to their destination VPs.
 func (s *vpSubstrate) Exchange(rec *trace.Recorder) error {
-	var exchErr error
-	rec.Time(trace.Exchange, func() {
-		buckets := make([][]vpParcel, s.c.Size())
-		for _, parcel := range s.outbound {
-			dst := s.rt.Location(parcel.VP)
-			buckets[dst] = append(buckets[dst], parcel)
-		}
-		s.outbound = s.outbound[:0]
-		for _, parcels := range comm.SparseExchange(s.c, buckets) {
-			for _, parcel := range parcels {
-				avp := s.rt.Local(parcel.VP)
-				if avp == nil {
-					exchErr = fmt.Errorf("driver: parcel for VP %d arrived at core %d which does not host it", parcel.VP, s.c.Rank())
-					return
-				}
-				v := avp.(*picVP)
-				v.ps = append(v.ps, parcel.Ps...)
+	start := time.Now()
+	buckets := s.buckets.next(s.c.Size())
+	for _, parcel := range s.outbound {
+		dst := s.rt.Location(parcel.VP)
+		buckets[dst] = append(buckets[dst], parcel)
+	}
+	s.outbound = s.outbound[:0]
+	for _, parcels := range comm.SparseExchange(s.c, buckets) {
+		for _, parcel := range parcels {
+			avp := s.rt.Local(parcel.VP)
+			if avp == nil {
+				return fmt.Errorf("driver: parcel for VP %d arrived at core %d which does not host it", parcel.VP, s.c.Rank())
 			}
+			avp.(*picVP).soa.AppendAll(parcel.Ps)
 		}
-	})
-	return exchErr
+	}
+	rec.Add(trace.Exchange, time.Since(start))
+	return nil
 }
 
 // ApplyEvents implements Substrate: removal per VP; injections routed to
@@ -177,15 +189,12 @@ func (s *vpSubstrate) Exchange(rec *trace.Recorder) error {
 func (s *vpSubstrate) ApplyEvents(es *eventState, step int) {
 	for _, ev := range s.cfg.Schedule.At(step) {
 		if ev.Remove {
+			region := ev.Region
 			s.rt.ForEach(func(avp ampi.VP) {
 				v := avp.(*picVP)
-				kept := v.ps[:0]
-				for i := range v.ps {
-					if !ev.Region.ContainsPos(v.ps[i].X, v.ps[i].Y, s.cfg.Mesh) {
-						kept = append(kept, v.ps[i])
-					}
-				}
-				v.ps = kept
+				v.soa.Filter(func(i int) bool {
+					return !region.ContainsPos(v.soa.X[i], v.soa.Y[i], s.cfg.Mesh)
+				})
 			})
 		}
 		if ev.Inject > 0 {
@@ -199,8 +208,7 @@ func (s *vpSubstrate) ApplyEvents(es *eventState, step int) {
 				cx, cy := s.cfg.Mesh.CellOf(inj[i].X, inj[i].Y)
 				vp := s.vg.OwnerOfCell(cx, cy)
 				if avp := s.rt.Local(vp); avp != nil {
-					v := avp.(*picVP)
-					v.ps = append(v.ps, inj[i])
+					avp.(*picVP).soa.Append(inj[i])
 				}
 			}
 		}
@@ -210,7 +218,7 @@ func (s *vpSubstrate) ApplyEvents(es *eventState, step int) {
 // Count implements Substrate.
 func (s *vpSubstrate) Count() int {
 	n := 0
-	s.rt.ForEach(func(avp ampi.VP) { n += len(avp.(*picVP).ps) })
+	s.rt.ForEach(func(avp ampi.VP) { n += avp.(*picVP).soa.Len() })
 	return n
 }
 
@@ -244,10 +252,10 @@ func (s *vpSubstrate) CheckOwnership(step int) error {
 			return
 		}
 		v := avp.(*picVP)
-		for i := range v.ps {
-			cx, cy := s.cfg.Mesh.CellOf(v.ps[i].X, v.ps[i].Y)
+		for i := 0; i < v.soa.Len(); i++ {
+			cx, cy := s.cfg.Mesh.CellOf(v.soa.X[i], v.soa.Y[i])
 			if s.vg.OwnerOfCell(cx, cy) != v.id {
-				err = fmt.Errorf("driver: step %d: particle %d at cell (%d,%d) not owned by VP %d", step, v.ps[i].ID, cx, cy, v.id)
+				err = fmt.Errorf("driver: step %d: particle %d at cell (%d,%d) not owned by VP %d", step, v.soa.Meta[i].ID, cx, cy, v.id)
 				return
 			}
 		}
@@ -258,7 +266,7 @@ func (s *vpSubstrate) CheckOwnership(step int) error {
 // Particles implements Substrate.
 func (s *vpSubstrate) Particles() []particle.Particle {
 	var ps []particle.Particle
-	s.rt.ForEach(func(avp ampi.VP) { ps = append(ps, avp.(*picVP).ps...) })
+	s.rt.ForEach(func(avp ampi.VP) { ps = append(ps, avp.(*picVP).soa.Particles()...) })
 	return ps
 }
 
@@ -266,6 +274,9 @@ func (s *vpSubstrate) Particles() []particle.Particle {
 func (s *vpSubstrate) MigrationStats() (int, int64) {
 	return s.rt.Stats.VPsSent + s.rt.Stats.VPsReceived, s.rt.Stats.BytesSent
 }
+
+// Close implements Substrate.
+func (s *vpSubstrate) Close() { s.pool.Close() }
 
 // routeToVPs groups leaver particles by destination VP in ascending VP
 // order (deterministic parcel order).

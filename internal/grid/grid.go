@@ -216,6 +216,31 @@ func (b *Block) Charge(i, j int) float64 {
 	return b.charges[b.idx(gi, gj)]
 }
 
+// CornerCharges returns the charges at the four mesh-point corners of the
+// owned cell (cx, cy), in the kernel's fixed order: (cx,cy), (cx+1,cy),
+// (cx,cy+1), (cx+1,cy+1). It is the devirtualized fast path of the move
+// kernel: for an owned cell the four corners are two adjacent pairs in the
+// row-major charge array (the ghost ring guarantees the +1 neighbors are
+// materialized), so the lookup is four indexed loads with no per-corner
+// seam arithmetic. A cell outside the owned region falls back to the
+// generic Charge path, which diagnoses genuinely out-of-range requests.
+func (b *Block) CornerCharges(cx, cy int) (q00, q10, q01, q11 float64) {
+	gi := cx - b.X0
+	if gi < 0 {
+		gi += b.mesh.L
+	}
+	gj := cy - b.Y0
+	if gj < 0 {
+		gj += b.mesh.L
+	}
+	if gi >= b.NX || gj >= b.NY || gi < 0 || gj < 0 {
+		return b.Charge(cx, cy), b.Charge(cx+1, cy), b.Charge(cx, cy+1), b.Charge(cx+1, cy+1)
+	}
+	w := b.NX + 2
+	row := (gj+1)*w + gi + 1
+	return b.charges[row], b.charges[row+1], b.charges[row+w], b.charges[row+w+1]
+}
+
 // OwnsCell reports whether global cell (cx, cy) is owned by this block.
 // The periodic seam is handled: ownership is tested on wrapped indices.
 func (b *Block) OwnsCell(cx, cy int) bool {
