@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"testing"
 	"time"
@@ -12,6 +13,7 @@ import (
 	"github.com/parres/picprk/internal/dist"
 	"github.com/parres/picprk/internal/driver"
 	"github.com/parres/picprk/internal/grid"
+	"github.com/parres/picprk/internal/telemetry"
 )
 
 // The -drivers mode benchmarks the four real goroutine drivers end to end
@@ -60,26 +62,29 @@ func driverBenchConfig(workers int) (driver.Config, error) {
 	}, nil
 }
 
-// runDriverBench benchmarks every driver and writes the JSON report to path.
-func runDriverBench(ranks, workers int, path string) error {
+// runDriverBench benchmarks every driver and writes the JSON report to
+// path. When timelineDir is non-empty, each driver additionally does one
+// telemetry-enabled run (outside the timed loop, so sampling cannot skew
+// ns/op or allocs/op) and writes TIMELINE_<driver>.jsonl there.
+func runDriverBench(ranks, workers int, path, timelineDir string) error {
 	cfg, err := driverBenchConfig(workers)
 	if err != nil {
 		return err
 	}
 	runs := []struct {
 		name string
-		run  func() (*driver.Result, error)
+		run  func(driver.Config) (*driver.Result, error)
 	}{
-		{"baseline", func() (*driver.Result, error) {
+		{"baseline", func(cfg driver.Config) (*driver.Result, error) {
 			return driver.RunBaseline(ranks, cfg)
 		}},
-		{"diffusion", func() (*driver.Result, error) {
+		{"diffusion", func(cfg driver.Config) (*driver.Result, error) {
 			return driver.RunDiffusion(ranks, cfg, diffusion.Params{Every: 5, Threshold: 0.05, Width: 2, MinWidth: 3})
 		}},
-		{"ampi", func() (*driver.Result, error) {
+		{"ampi", func(cfg driver.Config) (*driver.Result, error) {
 			return driver.RunAMPI(ranks, cfg, driver.AMPIParams{Overdecompose: 4, Every: 10})
 		}},
-		{"worksteal", func() (*driver.Result, error) {
+		{"worksteal", func(cfg driver.Config) (*driver.Result, error) {
 			return driver.RunWorkSteal(ranks, cfg, driver.WorkStealParams{Overdecompose: 4, Every: 10})
 		}},
 	}
@@ -98,7 +103,7 @@ func runDriverBench(ranks, workers int, path string) error {
 		r := testing.Benchmark(func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, err := d.run(); err != nil {
+				if _, err := d.run(cfg); err != nil {
 					runErr = err
 					b.Fatal(err)
 				}
@@ -106,6 +111,19 @@ func runDriverBench(ranks, workers int, path string) error {
 		})
 		if runErr != nil {
 			return fmt.Errorf("picbench: %s: %w", d.name, runErr)
+		}
+		if timelineDir != "" {
+			tcfg := cfg
+			tcfg.Telemetry = true
+			tres, err := d.run(tcfg)
+			if err != nil {
+				return fmt.Errorf("picbench: %s timeline run: %w", d.name, err)
+			}
+			tpath := filepath.Join(timelineDir, "TIMELINE_"+d.name+".jsonl")
+			if err := writeTimeline(tpath, tres.Timeline); err != nil {
+				return fmt.Errorf("picbench: %s: %w", d.name, err)
+			}
+			fmt.Printf("wrote %s\n", tpath)
 		}
 		nsPerOp := r.NsPerOp()
 		res := driverBenchResult{
@@ -132,4 +150,17 @@ func runDriverBench(ranks, workers int, path string) error {
 	}
 	fmt.Printf("wrote %s\n", path)
 	return nil
+}
+
+// writeTimeline writes one run's timeline as JSONL.
+func writeTimeline(path string, tl *telemetry.Timeline) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := telemetry.WriteJSONL(f, tl); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -33,6 +33,7 @@ func main() {
 		machine = flag.String("machine", "edison", "machine model: edison | fatnode")
 		drivers = flag.Bool("drivers", false, "benchmark the real goroutine drivers and write a JSON report")
 		out     = flag.String("o", "BENCH_driver.json", "drivers: output path for the JSON report")
+		tlDir   = flag.String("timelines", "", "drivers: also write TIMELINE_<driver>.jsonl telemetry to this directory (one extra untimed run each)")
 		ranks   = flag.Int("p", 4, "drivers: number of ranks")
 		workers = flag.Int("workers", 0, "drivers: move workers per rank (0 = GOMAXPROCS/p, min 1)")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -65,7 +66,7 @@ func main() {
 	}
 
 	if *drivers {
-		if err := runDriverBench(*ranks, *workers, *out); err != nil {
+		if err := runDriverBench(*ranks, *workers, *out, *tlDir); err != nil {
 			fatal(err)
 		}
 		return

@@ -26,7 +26,20 @@ import (
 	"github.com/parres/picprk/internal/driver"
 	"github.com/parres/picprk/internal/grid"
 	"github.com/parres/picprk/internal/stats"
+	"github.com/parres/picprk/internal/telemetry"
+	"github.com/parres/picprk/internal/trace"
 )
+
+// obsOpts carries the observability flags to the run reporters.
+type obsOpts struct {
+	// timeline and chrome are output paths for the JSONL timeline and the
+	// Chrome trace-event export ("" = off).
+	timeline, chrome string
+	// balanceLog dumps the executed balancing decisions after the run.
+	balanceLog bool
+}
+
+func (o obsOpts) sampling() bool { return o.timeline != "" || o.chrome != "" }
 
 func main() {
 	var (
@@ -51,6 +64,10 @@ func main() {
 		workers   = flag.Int("workers", 0, "move-phase worker goroutines per rank (0 = GOMAXPROCS/p, min 1)")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		timeline  = flag.String("timeline", "", "write the per-step telemetry timeline (JSONL) to this file")
+		chrome    = flag.String("chrometrace", "", "write the timeline as Chrome trace-event JSON (chrome://tracing, Perfetto) to this file")
+		httpAddr  = flag.String("http", "", "serve /metrics, /debug/vars, and /debug/pprof on this address during the run (e.g. :6060)")
+		balLog    = flag.Bool("balancelog", false, "print one line per executed load-balancing decision after the run")
 	)
 	flag.Parse()
 
@@ -97,15 +114,33 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown distribution %q", *distName))
 	}
+	obs := obsOpts{timeline: *timeline, chrome: *chrome, balanceLog: *balLog}
+	var live *telemetry.Live
+	if *httpAddr != "" {
+		ranks := *p
+		if *impl == "serial" {
+			ranks = 1
+		}
+		live = telemetry.NewLive(ranks)
+		addr, stop, err := telemetry.Serve(*httpAddr, live)
+		if err != nil {
+			fatal(err)
+		}
+		defer stop() //nolint:errcheck // best-effort teardown on exit
+		fmt.Printf("observability: http://%s/metrics (also /debug/vars, /debug/pprof)\n", addr)
+	}
+
 	cfg := driver.Config{
 		Mesh: mesh, N: *n, K: *k, M: *mVert,
 		Dist: d0, Seed: *seed, Steps: *steps, Verify: *verify,
-		Workers: *workers,
+		Workers:   *workers,
+		Telemetry: obs.sampling(), Live: live,
 	}
 
+	report := func(res *driver.Result, err error) { reportParallel(res, err, obs) }
 	switch *impl {
 	case "serial":
-		runSerial(cfg)
+		runSerial(cfg, obs, live)
 	case "baseline":
 		report(driver.RunBaseline(*p, cfg))
 	case "diffusion":
@@ -137,19 +172,43 @@ func main() {
 	}
 }
 
-func runSerial(cfg driver.Config) {
+// runSerial runs the sequential reference. When observability is on, each
+// step is timed individually and emitted as a rank-0 sample, so the serial
+// path produces the same timeline schema as the parallel drivers (one rank,
+// compute phase only).
+func runSerial(cfg driver.Config, obs obsOpts, live *telemetry.Live) {
 	sim, err := core.NewSimulation(dist.Config{
 		Mesh: cfg.Mesh, N: cfg.N, K: cfg.K, M: cfg.M, Dist: cfg.Dist, Seed: cfg.Seed,
 	}, cfg.Schedule)
 	if err != nil {
 		fatal(err)
 	}
+	var ring *telemetry.Ring
+	if obs.sampling() {
+		ring = telemetry.NewRing(cfg.Steps)
+	}
 	start := time.Now()
-	sim.Run(cfg.Steps)
+	if ring != nil || live != nil {
+		for step := 1; step <= cfg.Steps; step++ {
+			stepStart := time.Now()
+			sim.Step()
+			var s telemetry.Sample
+			s.Step = step
+			s.Phases[trace.Compute] = time.Since(stepStart)
+			s.Particles = len(sim.Particles)
+			ring.Append(s)
+			live.Observe(s)
+		}
+	} else {
+		sim.Run(cfg.Steps)
+	}
 	elapsed := time.Since(start)
 	rate := float64(len(sim.Particles)) * float64(cfg.Steps) / elapsed.Seconds()
 	fmt.Printf("serial: %d particles, %d steps in %v (%.1fM particle-steps/s)\n",
 		len(sim.Particles), cfg.Steps, elapsed.Round(time.Millisecond), rate/1e6)
+	if ring != nil {
+		writeObservability(telemetry.New("serial", 1, cfg.Steps, ring.Samples()), obs)
+	}
 	if cfg.Verify {
 		if err := sim.Verify(0); err != nil {
 			fatal(fmt.Errorf("VERIFICATION FAILED: %w", err))
@@ -158,7 +217,38 @@ func runSerial(cfg driver.Config) {
 	}
 }
 
-func report(res *driver.Result, err error) {
+// writeObservability writes the requested timeline exports.
+func writeObservability(tl *telemetry.Timeline, obs obsOpts) {
+	if tl == nil {
+		return
+	}
+	if obs.timeline != "" {
+		if err := writeFileWith(obs.timeline, func(f *os.File) error { return telemetry.WriteJSONL(f, tl) }); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("timeline: wrote %d samples to %s (analyze with picstat)\n", len(tl.Samples), obs.timeline)
+	}
+	if obs.chrome != "" {
+		if err := writeFileWith(obs.chrome, func(f *os.File) error { return telemetry.WriteChromeTrace(f, tl) }); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("chrome trace: wrote %s (load in Perfetto or chrome://tracing)\n", obs.chrome)
+	}
+}
+
+func writeFileWith(path string, write func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func reportParallel(res *driver.Result, err error, obs obsOpts) {
 	if err != nil {
 		fatal(err)
 	}
@@ -182,6 +272,13 @@ func report(res *driver.Result, err error) {
 			s.Rank, s.Compute.Round(time.Microsecond), s.Exchange.Round(time.Microsecond),
 			s.Balance.Round(time.Microsecond), s.Migrate.Round(time.Microsecond), s.FinalParticles)
 	}
+	if obs.balanceLog {
+		fmt.Printf("balance log: %d executed decision(s)\n", len(res.BalanceLog))
+		for _, line := range res.BalanceLog {
+			fmt.Printf("  %s\n", line)
+		}
+	}
+	writeObservability(res.Timeline, obs)
 	if res.Verified {
 		fmt.Println("verification: PASSED (closed-form positions + ID checksum)")
 	}

@@ -1,0 +1,138 @@
+// Command picstat analyzes a per-step telemetry timeline written by
+// `picrun -timeline` (or `picbench -drivers -timelines`): per-phase time
+// totals, how the load imbalance evolved over the run, and the steps that
+// cost the most wall time — the §V-B lens on a run, from a file instead of
+// a live cluster.
+//
+// Usage:
+//
+//	picrun -impl diffusion -p 8 -steps 500 -timeline tl.jsonl
+//	picstat tl.jsonl
+//	picstat -top 10 -rows 20 tl.jsonl
+//	picstat -chrome trace.json tl.jsonl   # convert for Perfetto
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/parres/picprk/internal/telemetry"
+	"github.com/parres/picprk/internal/trace"
+)
+
+func main() {
+	var (
+		top    = flag.Int("top", 5, "worst steps to list (by wall time)")
+		rows   = flag.Int("rows", 10, "max rows in the imbalance-over-time table")
+		chrome = flag.String("chrome", "", "also convert the timeline to Chrome trace-event JSON at this path")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: picstat [-top N] [-rows N] [-chrome out.json] timeline.jsonl")
+		os.Exit(2)
+	}
+
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	tl, err := telemetry.ReadJSONL(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+	printReport(tl, *top, *rows)
+
+	if *chrome != "" {
+		out, err := os.Create(*chrome)
+		if err != nil {
+			fatal(err)
+		}
+		if err := telemetry.WriteChromeTrace(out, tl); err != nil {
+			out.Close()
+			fatal(err)
+		}
+		if err := out.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nchrome trace: wrote %s (load in Perfetto or chrome://tracing)\n", *chrome)
+	}
+}
+
+func printReport(tl *telemetry.Timeline, top, rows int) {
+	fmt.Printf("timeline: %s  P=%d  steps=%d  samples=%d", tl.Name, tl.P, tl.Steps, len(tl.Samples))
+	if tl.Dropped > 0 {
+		fmt.Printf("  (dropped %d oldest samples; raise the ring cap for full coverage)", tl.Dropped)
+	}
+	fmt.Println()
+	ss := tl.StepStats()
+	if len(ss) == 0 {
+		fmt.Println("no samples")
+		return
+	}
+
+	totals := tl.PhaseTotals()
+	var grand time.Duration
+	for _, p := range trace.Phases() {
+		grand += totals[p]
+	}
+	fmt.Println("\nphase totals (CPU time summed over ranks):")
+	for _, p := range trace.Phases() {
+		pct := 0.0
+		if grand > 0 {
+			pct = 100 * float64(totals[p]) / float64(grand)
+		}
+		fmt.Printf("  %-9s %12v  %5.1f%%\n", p, totals[p].Round(time.Microsecond), pct)
+	}
+
+	fmt.Println("\nimbalance over time (per-rank particle loads):")
+	fmt.Printf("  %6s  %9s  %9s  %7s  %6s  %s\n", "step", "max", "mean", "imb", "gini", "decision")
+	for _, st := range sampleRows(ss, rows) {
+		fmt.Printf("  %6d  %9.0f  %9.1f  %7.3f  %6.3f  %s\n",
+			st.Step, st.Load.Max, st.Load.Mean, st.Load.Imbalance, st.Load.Gini, st.Decision)
+	}
+	first, last := ss[0], ss[len(ss)-1]
+	lo, hi, decisions := first.Load.Imbalance, first.Load.Imbalance, 0
+	for _, st := range ss {
+		lo = min(lo, st.Load.Imbalance)
+		hi = max(hi, st.Load.Imbalance)
+		if st.Decision != "" {
+			decisions++
+		}
+	}
+	fmt.Printf("  imbalance first %.3f, last %.3f, min %.3f, max %.3f; %d balancing decision(s)\n",
+		first.Load.Imbalance, last.Load.Imbalance, lo, hi, decisions)
+
+	fmt.Printf("\nworst %d step(s) by wall time (slowest rank sets the pace):\n", min(top, len(ss)))
+	fmt.Printf("  %6s  %10s  %10s  %10s  %10s  %10s  %7s\n",
+		"step", "wall", trace.Compute, trace.Exchange, trace.Balance, trace.Migrate, "imb")
+	for _, st := range telemetry.WorstSteps(ss, top) {
+		fmt.Printf("  %6d  %10v  %10v  %10v  %10v  %10v  %7.3f\n",
+			st.Step, st.Wall.Round(time.Microsecond),
+			st.Phases[trace.Compute].Round(time.Microsecond),
+			st.Phases[trace.Exchange].Round(time.Microsecond),
+			st.Phases[trace.Balance].Round(time.Microsecond),
+			st.Phases[trace.Migrate].Round(time.Microsecond),
+			st.Load.Imbalance)
+	}
+}
+
+// sampleRows picks at most n step stats evenly spaced across the run,
+// always including the first and last.
+func sampleRows(ss []telemetry.StepStat, n int) []telemetry.StepStat {
+	if n <= 0 || len(ss) <= n {
+		return ss
+	}
+	out := make([]telemetry.StepStat, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, ss[i*(len(ss)-1)/(n-1)])
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "picstat:", err)
+	os.Exit(1)
+}

@@ -34,6 +34,7 @@ import (
 	"github.com/parres/picprk/internal/dist"
 	"github.com/parres/picprk/internal/grid"
 	"github.com/parres/picprk/internal/particle"
+	"github.com/parres/picprk/internal/telemetry"
 	"github.com/parres/picprk/internal/trace"
 )
 
@@ -73,6 +74,19 @@ type Config struct {
 	// default, GOMAXPROCS/ranks with a minimum of 1. Particle updates are
 	// independent, so results are bitwise identical at any worker count.
 	Workers int
+	// Telemetry enables the per-step timeline: every rank records one
+	// telemetry.Sample per step and rank 0's Result carries the merged
+	// Timeline. Off by default; the steady-state step then stays
+	// allocation-free and results are bitwise identical either way.
+	Telemetry bool
+	// TelemetryCap bounds the per-rank sample ring; 0 keeps one slot per
+	// step. A full ring evicts the oldest samples (Timeline.Dropped counts
+	// them), bounding memory on very long runs.
+	TelemetryCap int
+	// Live, when non-nil, receives every rank's per-step samples for the
+	// /metrics endpoint — independently of Telemetry, so a capped or
+	// disabled timeline still feeds live gauges.
+	Live *telemetry.Live
 }
 
 // effectiveWorkers resolves the per-rank move worker count.
@@ -106,6 +120,9 @@ func (cfg *Config) validate(p int) error {
 	}
 	if cfg.Workers < 0 {
 		return fmt.Errorf("driver: negative move worker count %d", cfg.Workers)
+	}
+	if cfg.TelemetryCap < 0 {
+		return fmt.Errorf("driver: negative telemetry ring cap %d", cfg.TelemetryCap)
 	}
 	if err := cfg.Schedule.Validate(cfg.Mesh); err != nil {
 		return err
@@ -152,6 +169,9 @@ type Result struct {
 	// globally-reduced loads, every rank's log is identical; tests compare
 	// it against the model's log to pin decision identity.
 	BalanceLog []string
+	// Timeline is the merged per-step, per-rank telemetry when
+	// cfg.Telemetry was set, nil otherwise.
+	Timeline *telemetry.Timeline
 }
 
 // MaxParticlesHighWater returns the largest per-rank high-water mark.

@@ -6,6 +6,7 @@ import (
 	"github.com/parres/picprk/internal/balance"
 	"github.com/parres/picprk/internal/comm"
 	"github.com/parres/picprk/internal/particle"
+	"github.com/parres/picprk/internal/telemetry"
 	"github.com/parres/picprk/internal/trace"
 )
 
@@ -106,9 +107,30 @@ func (e *Engine) runRank(c *comm.Comm) (*Result, error) {
 	rec := &trace.Recorder{}
 	rec.ObserveParticles(sub.Count())
 
+	// Telemetry: when sampling, each step snapshots the recorder delta plus
+	// the counters into the per-rank ring and/or the live aggregate. Both
+	// sinks are nil-safe, and when sampling is off the loop below touches
+	// none of this — the steady-state step stays allocation-free and the
+	// run is bitwise identical to an unsampled one.
+	var ring *telemetry.Ring
+	if cfg.Telemetry {
+		capacity := cfg.TelemetryCap
+		if capacity == 0 {
+			capacity = cfg.Steps
+		}
+		ring = telemetry.NewRing(capacity)
+	}
+	sampling := ring != nil || cfg.Live != nil
+	var prevMigrations int
+	var prevBytes int64
+
 	interval := bal.Interval()
 	needs := bal.Needs()
 	for step := 1; step <= cfg.Steps; step++ {
+		if sampling {
+			rec.StartStep()
+		}
+		decision := ""
 		// Timed inline (no closure) so the steady-state step stays
 		// allocation-free.
 		moveStart := time.Now()
@@ -138,6 +160,13 @@ func (e *Engine) runRank(c *comm.Comm) (*Result, error) {
 					return nil, mErr
 				}
 				bal.Apply(plan)
+				if sampling {
+					// Tag the step with the policy's own history line so the
+					// timeline and -balancelog agree verbatim.
+					if h := bal.History(); len(h) > 0 {
+						decision = h[len(h)-1]
+					}
+				}
 				if rehome {
 					// Particles follow the new decomposition (accounted as
 					// exchange, like any ownership change).
@@ -151,6 +180,22 @@ func (e *Engine) runRank(c *comm.Comm) (*Result, error) {
 		if err := sub.CheckOwnership(step); err != nil {
 			return nil, err
 		}
+
+		if sampling {
+			migrations, bytes := sub.MigrationStats()
+			s := telemetry.Sample{
+				Step:       step,
+				Rank:       c.Rank(),
+				Phases:     rec.Snapshot(),
+				Particles:  sub.Count(),
+				Migrations: migrations - prevMigrations,
+				Bytes:      bytes - prevBytes,
+				Decision:   decision,
+			}
+			prevMigrations, prevBytes = migrations, bytes
+			ring.Append(s)
+			cfg.Live.Observe(s)
+		}
 	}
 
 	ps := sub.Particles()
@@ -158,6 +203,7 @@ func (e *Engine) runRank(c *comm.Comm) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	timeline := gatherTimeline(c, e.Name, cfg, ring)
 	migrations, bytes := sub.MigrationStats()
 	rec.Migrations = migrations
 	res := collectResult(c, e.Name, cfg, rec, len(ps), bytes, migrations)
@@ -167,6 +213,35 @@ func (e *Engine) runRank(c *comm.Comm) (*Result, error) {
 			res.Particles = merged
 		}
 		res.BalanceLog = bal.History()
+		res.Timeline = timeline
 	}
 	return res, nil
+}
+
+// rankTimeline carries one rank's telemetry to rank 0.
+type rankTimeline struct {
+	Samples []telemetry.Sample
+	Dropped int
+}
+
+// gatherTimeline merges every rank's sample ring into one Timeline at rank
+// 0. It is collective when ring sampling is enabled (every rank constructs
+// a ring or none does, since Config is identical) and a no-op otherwise.
+func gatherTimeline(c *comm.Comm, name string, cfg Config, ring *telemetry.Ring) *telemetry.Timeline {
+	if ring == nil {
+		return nil
+	}
+	all := comm.Gather(c, 0, rankTimeline{Samples: ring.Samples(), Dropped: ring.Dropped()})
+	if c.Rank() != 0 {
+		return nil
+	}
+	perRank := make([][]telemetry.Sample, len(all))
+	dropped := 0
+	for i, rt := range all {
+		perRank[i] = rt.Samples
+		dropped += rt.Dropped
+	}
+	tl := telemetry.New(name, c.Size(), cfg.Steps, perRank...)
+	tl.Dropped = dropped
+	return tl
 }

@@ -1,0 +1,185 @@
+package driver
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"github.com/parres/picprk/internal/diffusion"
+	"github.com/parres/picprk/internal/dist"
+	"github.com/parres/picprk/internal/telemetry"
+	"github.com/parres/picprk/internal/trace"
+)
+
+// TestTimelineRecordedByAllDrivers asserts every driver emits the identical
+// timeline shape: one sample per (step, rank), sorted, with per-step
+// particle counts that sum to the global population.
+func TestTimelineRecordedByAllDrivers(t *testing.T) {
+	cfg := testConfig(t, 16, 2000, 20)
+	cfg.Dist = dist.Geometric{R: 0.9}
+	cfg.Telemetry = true
+	const p = 4
+	for _, run := range []struct {
+		name string
+		fn   func() (*Result, error)
+	}{
+		{"baseline", func() (*Result, error) { return RunBaseline(p, cfg) }},
+		{"diffusion", func() (*Result, error) {
+			return RunDiffusion(p, cfg, diffusion.Params{Every: 4, Threshold: 0.05, Width: 1, MinWidth: 2})
+		}},
+		{"ampi", func() (*Result, error) { return RunAMPI(p, cfg, AMPIParams{Overdecompose: 4, Every: 5}) }},
+		{"worksteal", func() (*Result, error) { return RunWorkSteal(p, cfg, WorkStealParams{Overdecompose: 4, Every: 5}) }},
+	} {
+		res, err := run.fn()
+		if err != nil {
+			t.Fatalf("%s: %v", run.name, err)
+		}
+		tl := res.Timeline
+		if tl == nil {
+			t.Fatalf("%s: no timeline despite cfg.Telemetry", run.name)
+		}
+		if tl.Name != run.name || tl.P != p || tl.Steps != cfg.Steps {
+			t.Errorf("%s: timeline header %q P=%d steps=%d", run.name, tl.Name, tl.P, tl.Steps)
+		}
+		if len(tl.Samples) != p*cfg.Steps {
+			t.Fatalf("%s: %d samples, want %d", run.name, len(tl.Samples), p*cfg.Steps)
+		}
+		if tl.Dropped != 0 {
+			t.Errorf("%s: dropped %d samples with an uncapped ring", run.name, tl.Dropped)
+		}
+		for i, s := range tl.Samples {
+			step, rank := i/p+1, i%p
+			if s.Step != step || s.Rank != rank {
+				t.Fatalf("%s: sample %d is (step %d, rank %d), want (%d, %d)", run.name, i, s.Step, s.Rank, step, rank)
+			}
+		}
+		// Per-step particle conservation: no events, so every step's ranks
+		// sum to N.
+		for _, st := range tl.StepStats() {
+			if got := st.Load.Mean * float64(st.Load.N); got != float64(cfg.N) {
+				t.Fatalf("%s: step %d holds %v particles, want %d", run.name, st.Step, got, cfg.N)
+			}
+		}
+	}
+}
+
+// TestTimelineDecisionsMatchBalanceLog pins the decision tags: the
+// non-empty decisions on rank 0's samples must reproduce BalanceLog line
+// for line, and land on the balancer's cadence.
+func TestTimelineDecisionsMatchBalanceLog(t *testing.T) {
+	cfg := testConfig(t, 32, 5000, 60)
+	cfg.Dist = dist.Geometric{R: 0.85}
+	cfg.Telemetry = true
+	params := diffusion.Params{Every: 5, Threshold: 0.05, Width: 1, MinWidth: 2}
+	res, err := RunDiffusion(4, cfg, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.BalanceLog) == 0 {
+		t.Fatal("no balancing decisions; the test would be vacuous")
+	}
+	var tagged []string
+	for _, s := range res.Timeline.Samples {
+		if s.Rank != 0 || s.Decision == "" {
+			continue
+		}
+		tagged = append(tagged, s.Decision)
+		if s.Step%params.Every != 0 {
+			t.Errorf("decision %q on step %d, off the every-%d cadence", s.Decision, s.Step, params.Every)
+		}
+		if s.Migrations == 0 {
+			t.Errorf("step %d executed %q but reports no migrations", s.Step, s.Decision)
+		}
+	}
+	if fmt.Sprint(tagged) != fmt.Sprint(res.BalanceLog) {
+		t.Errorf("timeline decisions diverge from BalanceLog:\ntimeline: %v\nlog:      %v", tagged, res.BalanceLog)
+	}
+	// Decisions are global: every rank carries the same tag per step.
+	for _, st := range res.Timeline.StepStats() {
+		for _, s := range res.Timeline.Samples {
+			if s.Step == st.Step && s.Decision != st.Decision {
+				t.Fatalf("step %d: rank %d tag %q differs from %q", s.Step, s.Rank, s.Decision, st.Decision)
+			}
+		}
+	}
+}
+
+// TestTelemetryPreservesResults is the acceptance criterion: sampling must
+// not change a single particle bit or a single decision.
+func TestTelemetryPreservesResults(t *testing.T) {
+	cfg := testConfig(t, 32, 4000, 40)
+	cfg.Dist = dist.Geometric{R: 0.88}
+	params := diffusion.Params{Every: 4, Threshold: 0.05, Width: 1, MinWidth: 2}
+	plain, err := RunDiffusion(4, cfg, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Telemetry = true
+	cfg.Live = telemetry.NewLive(4)
+	sampled, err := RunDiffusion(4, cfg, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertBitwiseEqual(t, plain.Particles, sampled.Particles, "telemetry on vs off")
+	if fmt.Sprint(plain.BalanceLog) != fmt.Sprint(sampled.BalanceLog) {
+		t.Errorf("balance logs diverge:\noff: %v\non:  %v", plain.BalanceLog, sampled.BalanceLog)
+	}
+	if plain.Timeline != nil {
+		t.Error("unsampled run grew a timeline")
+	}
+
+	// The live aggregate saw the run through to the last step.
+	var sb strings.Builder
+	cfg.Live.WritePrometheus(&sb)
+	if !strings.Contains(sb.String(), fmt.Sprintf("picprk_step %d", cfg.Steps)) {
+		t.Errorf("live aggregate did not reach step %d:\n%s", cfg.Steps, sb.String())
+	}
+}
+
+// TestTimelineRingCap asserts a capped ring keeps the most recent steps and
+// accounts the evictions.
+func TestTimelineRingCap(t *testing.T) {
+	cfg := testConfig(t, 16, 1000, 30)
+	cfg.Telemetry = true
+	cfg.TelemetryCap = 10
+	const p = 3
+	res, err := RunBaseline(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl := res.Timeline
+	if len(tl.Samples) != p*cfg.TelemetryCap {
+		t.Fatalf("%d samples, want %d", len(tl.Samples), p*cfg.TelemetryCap)
+	}
+	if tl.Dropped != p*(cfg.Steps-cfg.TelemetryCap) {
+		t.Errorf("dropped %d, want %d", tl.Dropped, p*(cfg.Steps-cfg.TelemetryCap))
+	}
+	if first := tl.Samples[0].Step; first != cfg.Steps-cfg.TelemetryCap+1 {
+		t.Errorf("oldest retained step %d, want %d", first, cfg.Steps-cfg.TelemetryCap+1)
+	}
+	if last := tl.Samples[len(tl.Samples)-1].Step; last != cfg.Steps {
+		t.Errorf("newest retained step %d, want %d", last, cfg.Steps)
+	}
+}
+
+// TestTimelinePhaseAccounting sanity-checks the snapshot deltas: summing
+// every sample's phases reproduces the run's cumulative per-rank stats.
+func TestTimelinePhaseAccounting(t *testing.T) {
+	cfg := testConfig(t, 16, 2000, 25)
+	cfg.Telemetry = true
+	res, err := RunAMPI(2, cfg, AMPIParams{Overdecompose: 4, Every: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	totals := res.Timeline.PhaseTotals()
+	var want trace.PhaseDurations
+	for _, rs := range res.PerRank {
+		want[trace.Compute] += rs.Compute
+		want[trace.Exchange] += rs.Exchange
+		want[trace.Balance] += rs.Balance
+		want[trace.Migrate] += rs.Migrate
+	}
+	if totals != want {
+		t.Errorf("timeline phase totals %v, per-rank stats %v", totals, want)
+	}
+}

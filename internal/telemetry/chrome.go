@@ -1,0 +1,112 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"github.com/parres/picprk/internal/trace"
+)
+
+// Chrome trace-event export: the timeline rendered in the JSON format that
+// chrome://tracing and Perfetto load directly. Ranks map to threads of one
+// process, phases to duration ("X") events, particle counts to counter
+// ("C") tracks, and balancer decisions to instant ("i") events.
+//
+// Samples carry durations, not absolute timestamps, so the exporter lays
+// steps out on a synthetic bulk-synchronous clock: all ranks start a step
+// together and the step ends when its slowest rank does — which is how the
+// exchange collective actually synchronizes the ranks, and makes per-step
+// idle time (imbalance) visible as gaps.
+
+// chromeEvent is one trace event. Fields follow the Trace Event Format;
+// ts and dur are microseconds.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid,omitempty"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the top-level object Perfetto accepts.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+const chromePID = 1
+
+func usec(d int64) float64 { return float64(d) / 1e3 }
+
+// WriteChromeTrace writes the timeline as Chrome trace-event JSON.
+func WriteChromeTrace(w io.Writer, tl *Timeline) error {
+	events := []chromeEvent{{
+		Name: "process_name", Ph: "M", PID: chromePID,
+		Args: map[string]any{"name": "picprk " + tl.Name},
+	}}
+	seenRank := map[int]bool{}
+	for i := range tl.Samples {
+		r := tl.Samples[i].Rank
+		if !seenRank[r] {
+			seenRank[r] = true
+			events = append(events, chromeEvent{
+				Name: "thread_name", Ph: "M", PID: chromePID, TID: r,
+				Args: map[string]any{"name": fmt.Sprintf("rank %d", r)},
+			})
+		}
+	}
+
+	// clock is the synthetic BSP step-start time in nanoseconds; samples are
+	// sorted by (step, rank), so each group of equal-step samples is
+	// contiguous.
+	var clock int64
+	for lo := 0; lo < len(tl.Samples); {
+		hi := lo
+		for hi < len(tl.Samples) && tl.Samples[hi].Step == tl.Samples[lo].Step {
+			hi++
+		}
+		var slowest int64
+		for _, s := range tl.Samples[lo:hi] {
+			ts := clock
+			for _, p := range trace.Phases() {
+				d := s.Phases[p].Nanoseconds()
+				if d <= 0 {
+					continue
+				}
+				events = append(events, chromeEvent{
+					Name: p.String(), Cat: "phase", Ph: "X",
+					PID: chromePID, TID: s.Rank,
+					TS: usec(ts), Dur: usec(d),
+					Args: map[string]any{"step": s.Step},
+				})
+				ts += d
+			}
+			if ts-clock > slowest {
+				slowest = ts - clock
+			}
+			events = append(events, chromeEvent{
+				Name: fmt.Sprintf("particles rank %d", s.Rank), Ph: "C",
+				PID: chromePID, TS: usec(clock),
+				Args: map[string]any{"particles": s.Particles},
+			})
+			// Decisions are global (every rank computes the identical plan),
+			// so one instant event per step suffices.
+			if s.Decision != "" && s.Rank == tl.Samples[lo].Rank {
+				events = append(events, chromeEvent{
+					Name: s.Decision, Cat: "balance", Ph: "i",
+					PID: chromePID, TID: s.Rank, TS: usec(ts), S: "g",
+				})
+			}
+		}
+		clock += slowest
+		lo = hi
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeTrace{TraceEvents: events, DisplayTimeUnit: "ms"})
+}

@@ -1,0 +1,171 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/parres/picprk/internal/trace"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden export files")
+
+// checkGolden compares got against testdata/<name>, rewriting it under
+// -update. The goldens pin the wire formats: a diff here is schema drift
+// and must come with a Schema version bump (JSONL) or a deliberate
+// trace-format change (Chrome).
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/telemetry -update` to create it)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from golden.\ngot:\n%s\nwant:\n%s\n(if intentional, bump the schema/format and rerun with -update)", name, got, want)
+	}
+}
+
+func TestJSONLGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, fixtureTimeline()); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "timeline.golden.jsonl", buf.Bytes())
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	tl := fixtureTimeline()
+	tl.Dropped = 4
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, tl); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tl, got) {
+		t.Errorf("round trip changed the timeline:\nwrote %+v\nread  %+v", tl, got)
+	}
+}
+
+func TestReadJSONLRejectsDrift(t *testing.T) {
+	if _, err := ReadJSONL(strings.NewReader(`{"schema":"picprk/timeline/v999","impl":"x","ranks":1,"steps":1}`)); err == nil {
+		t.Error("unknown schema version accepted")
+	}
+	if _, err := ReadJSONL(strings.NewReader("")); err == nil {
+		t.Error("empty input accepted")
+	}
+	bad := `{"schema":"` + Schema + `","impl":"x","ranks":1,"steps":1}` + "\n" +
+		`{"step":1,"rank":0,"phase_ns":{"warp":5},"particles":1}` + "\n"
+	if _, err := ReadJSONL(strings.NewReader(bad)); err == nil || !strings.Contains(err.Error(), "warp") {
+		t.Errorf("unknown phase name accepted (err=%v)", err)
+	}
+}
+
+func TestChromeTraceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, fixtureTimeline()); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "chrome.golden.json", buf.Bytes())
+}
+
+// TestChromeTraceValid asserts the export is valid trace-event JSON of the
+// shape Perfetto and chrome://tracing accept: a traceEvents array whose
+// events all carry name/ph/pid, duration events a non-negative ts/dur,
+// and instant events a scope.
+func TestChromeTraceValid(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, fixtureTimeline()); err != nil {
+		t.Fatal(err)
+	}
+	var top struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+		Unit        string           `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &top); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if len(top.TraceEvents) == 0 {
+		t.Fatal("no trace events")
+	}
+	counts := map[string]int{}
+	for i, ev := range top.TraceEvents {
+		ph, _ := ev["ph"].(string)
+		if ev["name"] == "" || ph == "" || ev["pid"] == nil {
+			t.Fatalf("event %d missing required fields: %v", i, ev)
+		}
+		counts[ph]++
+		switch ph {
+		case "X":
+			ts, tsOK := ev["ts"].(float64)
+			dur, durOK := ev["dur"].(float64)
+			if !tsOK || !durOK || ts < 0 || dur <= 0 {
+				t.Fatalf("duration event %d has bad ts/dur: %v", i, ev)
+			}
+		case "i":
+			if s, _ := ev["s"].(string); s == "" {
+				t.Fatalf("instant event %d missing scope: %v", i, ev)
+			}
+		}
+	}
+	// One duration event per nonzero phase, one instant per decision step,
+	// metadata for the process and both rank threads, counters per sample.
+	if counts["X"] == 0 || counts["M"] != 3 || counts["i"] != 1 || counts["C"] != 6 {
+		t.Errorf("event mix %v", counts)
+	}
+}
+
+// TestChromeTraceBSPAlignment pins the synthetic clock: all ranks start a
+// step at the same ts, and the next step starts after the slowest rank of
+// the previous one.
+func TestChromeTraceBSPAlignment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, fixtureTimeline()); err != nil {
+		t.Fatal(err)
+	}
+	var top struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &top); err != nil {
+		t.Fatal(err)
+	}
+	stepStart := map[int]float64{}
+	for _, ev := range top.TraceEvents {
+		if ev.Ph != "X" {
+			continue
+		}
+		step := int(ev.Args["step"].(float64))
+		first, seen := stepStart[step]
+		// The first phase of each rank's step starts at the step boundary;
+		// track the minimum ts per step and require both compute events
+		// (phase index 0, always first per rank) to share it.
+		if ev.Name != trace.Compute.String() {
+			continue
+		}
+		if !seen {
+			stepStart[step] = ev.TS
+		} else if ev.TS != first {
+			t.Errorf("step %d compute events start at %v and %v; ranks must align", step, first, ev.TS)
+		}
+	}
+	// Step 1's slowest rank takes 7ms → step 2 starts at 7000µs.
+	if got := stepStart[2]; got != 7000 {
+		t.Errorf("step 2 starts at %vµs, want 7000 (slowest rank of step 1)", got)
+	}
+}

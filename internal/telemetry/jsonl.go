@@ -1,0 +1,119 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/parres/picprk/internal/trace"
+)
+
+// Schema identifies the timeline wire format. Readers reject any other
+// value, so an incompatible change must bump the version — the CI
+// round-trip job fails on silent drift.
+const Schema = "picprk/timeline/v1"
+
+// metaJSON is the first line of a timeline file.
+type metaJSON struct {
+	Schema  string `json:"schema"`
+	Impl    string `json:"impl"`
+	Ranks   int    `json:"ranks"`
+	Steps   int    `json:"steps"`
+	Dropped int    `json:"dropped,omitempty"`
+}
+
+// sampleJSON is one sample line. Phase durations travel as a name→nanos
+// object keyed by trace.Phase names, so the schema follows the phase list
+// without either side hand-maintaining it.
+type sampleJSON struct {
+	Step       int              `json:"step"`
+	Rank       int              `json:"rank"`
+	PhaseNS    map[string]int64 `json:"phase_ns"`
+	Particles  int              `json:"particles"`
+	Migrations int              `json:"migrations,omitempty"`
+	Bytes      int64            `json:"bytes,omitempty"`
+	Decision   string           `json:"decision,omitempty"`
+}
+
+// WriteJSONL writes the timeline as JSON Lines: one meta object, then one
+// object per sample in (step, rank) order.
+func WriteJSONL(w io.Writer, tl *Timeline) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	meta := metaJSON{Schema: Schema, Impl: tl.Name, Ranks: tl.P, Steps: tl.Steps, Dropped: tl.Dropped}
+	if err := enc.Encode(meta); err != nil {
+		return err
+	}
+	for i := range tl.Samples {
+		s := &tl.Samples[i]
+		line := sampleJSON{
+			Step:       s.Step,
+			Rank:       s.Rank,
+			PhaseNS:    make(map[string]int64, trace.NumPhases),
+			Particles:  s.Particles,
+			Migrations: s.Migrations,
+			Bytes:      s.Bytes,
+			Decision:   s.Decision,
+		}
+		for _, p := range trace.Phases() {
+			line.PhaseNS[p.String()] = s.Phases[p].Nanoseconds()
+		}
+		if err := enc.Encode(line); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL parses a timeline written by WriteJSONL, validating the schema
+// version and every phase name.
+func ReadJSONL(r io.Reader) (*Timeline, error) {
+	byName := make(map[string]trace.Phase, trace.NumPhases)
+	for _, p := range trace.Phases() {
+		byName[p.String()] = p
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("telemetry: empty timeline")
+	}
+	var meta metaJSON
+	if err := json.Unmarshal(sc.Bytes(), &meta); err != nil {
+		return nil, fmt.Errorf("telemetry: bad meta line: %w", err)
+	}
+	if meta.Schema != Schema {
+		return nil, fmt.Errorf("telemetry: schema %q, this reader understands %q", meta.Schema, Schema)
+	}
+	tl := &Timeline{Name: meta.Impl, P: meta.Ranks, Steps: meta.Steps, Dropped: meta.Dropped}
+	for line := 2; sc.Scan(); line++ {
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var sj sampleJSON
+		if err := json.Unmarshal(sc.Bytes(), &sj); err != nil {
+			return nil, fmt.Errorf("telemetry: line %d: %w", line, err)
+		}
+		s := Sample{
+			Step:       sj.Step,
+			Rank:       sj.Rank,
+			Particles:  sj.Particles,
+			Migrations: sj.Migrations,
+			Bytes:      sj.Bytes,
+			Decision:   sj.Decision,
+		}
+		for name, ns := range sj.PhaseNS {
+			p, ok := byName[name]
+			if !ok {
+				return nil, fmt.Errorf("telemetry: line %d: unknown phase %q", line, name)
+			}
+			s.Phases[p] = time.Duration(ns)
+		}
+		tl.Samples = append(tl.Samples, s)
+	}
+	return tl, sc.Err()
+}

@@ -1,0 +1,93 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+
+	"github.com/parres/picprk/internal/stats"
+	"github.com/parres/picprk/internal/trace"
+)
+
+// Live is the lock-free aggregate behind the /metrics endpoint: each rank
+// stores its latest per-step observations into its own atomic slots while
+// the HTTP handler reads them all. Observe is allocation-free and a no-op
+// on a nil receiver, so it can sit unconditionally on the sampling path.
+type Live struct {
+	ranks int
+	step  atomic.Int64
+	// phaseNS accumulates per-rank, per-phase nanoseconds, laid out
+	// rank-major: slot(rank, phase) = rank*NumPhases + phase.
+	phaseNS    []atomic.Int64
+	particles  []atomic.Int64
+	migrations []atomic.Int64
+	bytes      []atomic.Int64
+}
+
+// NewLive returns a Live aggregate for the given rank count.
+func NewLive(ranks int) *Live {
+	if ranks < 1 {
+		ranks = 1
+	}
+	return &Live{
+		ranks:      ranks,
+		phaseNS:    make([]atomic.Int64, ranks*trace.NumPhases),
+		particles:  make([]atomic.Int64, ranks),
+		migrations: make([]atomic.Int64, ranks),
+		bytes:      make([]atomic.Int64, ranks),
+	}
+}
+
+// Observe folds one per-step sample into the aggregate. Samples carry
+// per-step deltas, so durations, migrations, and bytes accumulate while
+// the particle count and step are gauges.
+func (l *Live) Observe(s Sample) {
+	if l == nil || s.Rank < 0 || s.Rank >= l.ranks {
+		return
+	}
+	l.step.Store(int64(s.Step))
+	for _, p := range trace.Phases() {
+		l.phaseNS[s.Rank*trace.NumPhases+int(p)].Add(s.Phases[p].Nanoseconds())
+	}
+	l.particles[s.Rank].Store(int64(s.Particles))
+	l.migrations[s.Rank].Add(int64(s.Migrations))
+	l.bytes[s.Rank].Add(s.Bytes)
+}
+
+// WritePrometheus renders the aggregate in the Prometheus text exposition
+// format.
+func (l *Live) WritePrometheus(w io.Writer) {
+	if l == nil {
+		return
+	}
+	fmt.Fprintf(w, "# HELP picprk_step Current simulation step.\n# TYPE picprk_step gauge\npicprk_step %d\n", l.step.Load())
+
+	fmt.Fprintf(w, "# HELP picprk_phase_seconds_total Time spent per rank per phase.\n# TYPE picprk_phase_seconds_total counter\n")
+	for rank := 0; rank < l.ranks; rank++ {
+		for _, p := range trace.Phases() {
+			ns := l.phaseNS[rank*trace.NumPhases+int(p)].Load()
+			fmt.Fprintf(w, "picprk_phase_seconds_total{rank=\"%d\",phase=\"%s\"} %g\n", rank, p, float64(ns)/1e9)
+		}
+	}
+
+	loads := make([]float64, l.ranks)
+	fmt.Fprintf(w, "# HELP picprk_particles Local particle count per rank.\n# TYPE picprk_particles gauge\n")
+	for rank := 0; rank < l.ranks; rank++ {
+		n := l.particles[rank].Load()
+		loads[rank] = float64(n)
+		fmt.Fprintf(w, "picprk_particles{rank=\"%d\"} %d\n", rank, n)
+	}
+
+	fmt.Fprintf(w, "# HELP picprk_migrations_total LB data movements per rank.\n# TYPE picprk_migrations_total counter\n")
+	for rank := 0; rank < l.ranks; rank++ {
+		fmt.Fprintf(w, "picprk_migrations_total{rank=\"%d\"} %d\n", rank, l.migrations[rank].Load())
+	}
+
+	fmt.Fprintf(w, "# HELP picprk_migrated_bytes_total LB payload bytes sent per rank.\n# TYPE picprk_migrated_bytes_total counter\n")
+	for rank := 0; rank < l.ranks; rank++ {
+		fmt.Fprintf(w, "picprk_migrated_bytes_total{rank=\"%d\"} %d\n", rank, l.bytes[rank].Load())
+	}
+
+	sum := stats.Summarize(loads)
+	fmt.Fprintf(w, "# HELP picprk_imbalance_ratio Max over mean particle load (1.0 = perfect balance).\n# TYPE picprk_imbalance_ratio gauge\npicprk_imbalance_ratio %g\n", sum.Imbalance)
+}

@@ -1,0 +1,143 @@
+// Package telemetry records the per-step, per-rank timeline of a PIC PRK
+// run: how long each rank spent in each phase of each step, how many
+// particles it held, what the load balancer moved, and which decision it
+// took. The paper's evaluation (§V-B) argues from exactly these
+// trajectories — max particles per core over time, phase timing breakdowns
+// — and the end-of-run sums in trace.Recorder cannot show *when* imbalance
+// develops or what a balancing action cost.
+//
+// The package has three consumers:
+//
+//   - the timeline writers (JSONL for cmd/picstat, Chrome trace-event JSON
+//     for chrome://tracing and Perfetto),
+//   - the live /metrics endpoint (Prometheus text format, plus expvar and
+//     pprof) backed by the lock-free Live aggregate,
+//   - the analysis helpers cmd/picstat builds its report from.
+//
+// Everything on the recording side is nil-safe and allocation-free: a nil
+// *Ring or *Live accepts samples as no-ops, so the engine's steady-state
+// step stays off the allocator when telemetry is disabled.
+package telemetry
+
+import (
+	"sort"
+
+	"github.com/parres/picprk/internal/trace"
+)
+
+// Sample is one rank's observation of one step.
+type Sample struct {
+	// Step is the 1-based simulation step.
+	Step int
+	// Rank is the observing rank.
+	Rank int
+	// Phases holds the time this rank spent in each phase during this step
+	// (a trace.Recorder.Snapshot delta, not a cumulative sum).
+	Phases trace.PhaseDurations
+	// Particles is the local particle count at the end of the step.
+	Particles int
+	// Migrations is the number of LB data movements this step (delta).
+	Migrations int
+	// Bytes is the LB payload bytes this rank sent this step (delta).
+	Bytes int64
+	// Decision is the balancer's history line when a plan executed this
+	// step, empty otherwise. Plans are identical on every rank, so readers
+	// normally take rank 0's.
+	Decision string
+}
+
+// Ring is a fixed-capacity per-rank sample store that keeps the most recent
+// samples once full. Each rank owns one; it is not safe for concurrent use.
+// A nil *Ring ignores appends and reports no samples.
+type Ring struct {
+	buf []Sample
+	n   int // total samples ever appended
+}
+
+// NewRing returns a ring holding at most capacity samples. Capacity must be
+// positive; size it to the step count to keep every sample.
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &Ring{buf: make([]Sample, 0, capacity)}
+}
+
+// Append records one sample, evicting the oldest if the ring is full. It is
+// allocation-free after the ring reaches capacity, and a no-op on nil.
+func (r *Ring) Append(s Sample) {
+	if r == nil {
+		return
+	}
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, s)
+	} else {
+		r.buf[r.n%len(r.buf)] = s
+	}
+	r.n++
+}
+
+// Len returns the number of samples currently held.
+func (r *Ring) Len() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.buf)
+}
+
+// Dropped returns how many samples were evicted because the ring was full.
+func (r *Ring) Dropped() int {
+	if r == nil {
+		return 0
+	}
+	return r.n - len(r.buf)
+}
+
+// Samples returns the held samples in append order (oldest first), as a
+// fresh slice.
+func (r *Ring) Samples() []Sample {
+	if r == nil || len(r.buf) == 0 {
+		return nil
+	}
+	out := make([]Sample, 0, len(r.buf))
+	if r.n > len(r.buf) {
+		// The ring wrapped: the oldest sample sits at the write cursor.
+		at := r.n % len(r.buf)
+		out = append(out, r.buf[at:]...)
+		out = append(out, r.buf[:at]...)
+	} else {
+		out = append(out, r.buf...)
+	}
+	return out
+}
+
+// Timeline is the merged per-step record of one run: every rank's samples,
+// sorted by (step, rank). Rank 0's Result carries one when the run sampled.
+type Timeline struct {
+	// Name is the implementation label ("serial", "baseline", ...).
+	Name string
+	// P is the rank count; Steps the configured step count.
+	P, Steps int
+	// Dropped counts samples evicted from capped rings across all ranks;
+	// zero means the timeline is complete.
+	Dropped int
+	// Samples holds every retained sample, sorted by (Step, Rank).
+	Samples []Sample
+}
+
+// New assembles a Timeline from per-rank sample slices, sorting the merged
+// samples by (step, rank).
+func New(name string, p, steps int, perRank ...[]Sample) *Timeline {
+	tl := &Timeline{Name: name, P: p, Steps: steps}
+	for _, rs := range perRank {
+		tl.Samples = append(tl.Samples, rs...)
+	}
+	sort.SliceStable(tl.Samples, func(i, j int) bool {
+		a, b := tl.Samples[i], tl.Samples[j]
+		if a.Step != b.Step {
+			return a.Step < b.Step
+		}
+		return a.Rank < b.Rank
+	})
+	return tl
+}

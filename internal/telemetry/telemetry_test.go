@@ -1,0 +1,188 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+
+	"github.com/parres/picprk/internal/trace"
+)
+
+func TestRingKeepsMostRecent(t *testing.T) {
+	r := NewRing(3)
+	for step := 1; step <= 5; step++ {
+		r.Append(Sample{Step: step})
+	}
+	if r.Len() != 3 {
+		t.Fatalf("len %d, want 3", r.Len())
+	}
+	if r.Dropped() != 2 {
+		t.Errorf("dropped %d, want 2", r.Dropped())
+	}
+	got := r.Samples()
+	for i, want := range []int{3, 4, 5} {
+		if got[i].Step != want {
+			t.Errorf("sample %d is step %d, want %d (oldest-first order after wrap)", i, got[i].Step, want)
+		}
+	}
+}
+
+func TestRingUnderCapacity(t *testing.T) {
+	r := NewRing(10)
+	r.Append(Sample{Step: 1})
+	r.Append(Sample{Step: 2})
+	if r.Dropped() != 0 {
+		t.Errorf("dropped %d, want 0", r.Dropped())
+	}
+	got := r.Samples()
+	if len(got) != 2 || got[0].Step != 1 || got[1].Step != 2 {
+		t.Errorf("samples %+v", got)
+	}
+}
+
+func TestNilSinksAreNoOps(t *testing.T) {
+	var r *Ring
+	var l *Live
+	r.Append(Sample{Step: 1}) // must not panic
+	l.Observe(Sample{Step: 1})
+	if r.Len() != 0 || r.Dropped() != 0 || r.Samples() != nil {
+		t.Error("nil ring reports samples")
+	}
+}
+
+func TestNewSortsByStepThenRank(t *testing.T) {
+	rank1 := []Sample{{Step: 1, Rank: 1}, {Step: 2, Rank: 1}}
+	rank0 := []Sample{{Step: 1, Rank: 0}, {Step: 2, Rank: 0}}
+	tl := New("x", 2, 2, rank1, rank0)
+	want := [][2]int{{1, 0}, {1, 1}, {2, 0}, {2, 1}}
+	for i, s := range tl.Samples {
+		if s.Step != want[i][0] || s.Rank != want[i][1] {
+			t.Fatalf("sample %d is (step %d, rank %d), want %v", i, s.Step, s.Rank, want[i])
+		}
+	}
+}
+
+// fixtureTimeline is the deterministic two-rank, three-step run the golden
+// and analysis tests share: rank 1 is overloaded, a balancing decision
+// fires at step 2 and evens the loads out by step 3.
+func fixtureTimeline() *Timeline {
+	mk := func(step, rank int, c, e, b, m time.Duration, particles, migrations int, bytes int64, decision string) Sample {
+		s := Sample{Step: step, Rank: rank, Particles: particles, Migrations: migrations, Bytes: bytes, Decision: decision}
+		s.Phases[trace.Compute] = c
+		s.Phases[trace.Exchange] = e
+		s.Phases[trace.Balance] = b
+		s.Phases[trace.Migrate] = m
+		return s
+	}
+	ms := time.Millisecond
+	return New("diffusion", 2, 3,
+		[]Sample{
+			mk(1, 0, 2*ms, 1*ms, 0, 0, 100, 0, 0, ""),
+			mk(2, 0, 2*ms, 1*ms, 1*ms, 3*ms, 150, 1, 2048, "step=2 x=[0 5 8]"),
+			mk(3, 0, 3*ms, 1*ms, 0, 0, 200, 0, 0, ""),
+		},
+		[]Sample{
+			mk(1, 1, 6*ms, 1*ms, 0, 0, 300, 0, 0, ""),
+			mk(2, 1, 5*ms, 1*ms, 1*ms, 2*ms, 250, 1, 1024, "step=2 x=[0 5 8]"),
+			mk(3, 1, 3*ms, 1*ms, 0, 0, 200, 0, 0, ""),
+		},
+	)
+}
+
+func TestStepStats(t *testing.T) {
+	ss := fixtureTimeline().StepStats()
+	if len(ss) != 3 {
+		t.Fatalf("%d step stats, want 3", len(ss))
+	}
+	// Step 1: rank 1 totals 7ms, rank 0 totals 3ms → wall 7ms.
+	if ss[0].Wall != 7*time.Millisecond {
+		t.Errorf("step 1 wall %v, want 7ms", ss[0].Wall)
+	}
+	if ss[0].Load.Max != 300 || ss[0].Load.Mean != 200 {
+		t.Errorf("step 1 load %+v", ss[0].Load)
+	}
+	if ss[0].Load.Imbalance != 1.5 {
+		t.Errorf("step 1 imbalance %v, want 1.5", ss[0].Load.Imbalance)
+	}
+	if ss[1].Decision == "" || ss[1].Migrations != 2 || ss[1].Bytes != 3072 {
+		t.Errorf("step 2 decision/migrations/bytes: %+v", ss[1])
+	}
+	if ss[2].Load.Imbalance != 1 {
+		t.Errorf("step 3 imbalance %v, want 1 (balanced)", ss[2].Load.Imbalance)
+	}
+	// Phase sums over ranks.
+	if ss[0].Phases[trace.Compute] != 8*time.Millisecond {
+		t.Errorf("step 1 compute sum %v, want 8ms", ss[0].Phases[trace.Compute])
+	}
+}
+
+func TestPhaseTotals(t *testing.T) {
+	tot := fixtureTimeline().PhaseTotals()
+	if tot[trace.Compute] != 21*time.Millisecond {
+		t.Errorf("compute total %v, want 21ms", tot[trace.Compute])
+	}
+	if tot[trace.Exchange] != 6*time.Millisecond {
+		t.Errorf("exchange total %v, want 6ms", tot[trace.Exchange])
+	}
+	if tot[trace.Migrate] != 5*time.Millisecond {
+		t.Errorf("migrate total %v, want 5ms", tot[trace.Migrate])
+	}
+}
+
+func TestWorstSteps(t *testing.T) {
+	ss := fixtureTimeline().StepStats()
+	worst := WorstSteps(ss, 2)
+	if len(worst) != 2 {
+		t.Fatalf("%d worst steps, want 2", len(worst))
+	}
+	// Step 2 rank 1: 5+1+1+2 = 9ms wall; step 1: 7ms.
+	if worst[0].Step != 2 || worst[1].Step != 1 {
+		t.Errorf("worst order %d, %d; want 2, 1", worst[0].Step, worst[1].Step)
+	}
+	if got := WorstSteps(ss, 10); len(got) != 3 {
+		t.Errorf("over-asking returned %d steps", len(got))
+	}
+	// Input order is preserved.
+	if ss[0].Step != 1 || ss[1].Step != 2 {
+		t.Error("WorstSteps mutated its input")
+	}
+}
+
+// TestSamplingDisabledAllocationFree pins the tentpole constraint: the
+// per-step telemetry path must not allocate when telemetry is disabled —
+// nil sinks swallow samples and the recorder snapshot is a value copy — so
+// enabling the engine's sampling hooks costs nothing on unsampled runs.
+func TestSamplingDisabledAllocationFree(t *testing.T) {
+	var ring *Ring
+	var live *Live
+	rec := &trace.Recorder{}
+	rec.Add(trace.Compute, time.Second)
+	if avg := testing.AllocsPerRun(100, func() {
+		rec.StartStep()
+		rec.Add(trace.Exchange, time.Millisecond)
+		s := Sample{Step: 1, Rank: 0, Phases: rec.Snapshot(), Particles: 42}
+		ring.Append(s)
+		live.Observe(s)
+	}); avg != 0 {
+		t.Errorf("disabled telemetry: %v allocs per step, want 0", avg)
+	}
+}
+
+// TestSamplingEnabledAllocationFree goes further: even with telemetry on,
+// the steady-state step stays off the allocator once the ring reached
+// capacity (Live is atomic stores throughout).
+func TestSamplingEnabledAllocationFree(t *testing.T) {
+	ring := NewRing(8)
+	live := NewLive(1)
+	rec := &trace.Recorder{}
+	for i := 0; i < 8; i++ {
+		ring.Append(Sample{Step: i})
+	}
+	if avg := testing.AllocsPerRun(100, func() {
+		rec.StartStep()
+		s := Sample{Step: 9, Rank: 0, Phases: rec.Snapshot()}
+		ring.Append(s)
+		live.Observe(s)
+	}); avg != 0 {
+		t.Errorf("enabled telemetry: %v allocs per step, want 0", avg)
+	}
+}

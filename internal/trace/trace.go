@@ -25,6 +25,24 @@ const (
 	numPhases
 )
 
+// NumPhases is the number of accountable phases, for sizing per-phase
+// arrays outside this package.
+const NumPhases = int(numPhases)
+
+// allPhases enumerates every phase in index order, derived from the iota
+// range so no list is hand-maintained anywhere.
+var allPhases = func() (ps [NumPhases]Phase) {
+	for i := range ps {
+		ps[i] = Phase(i)
+	}
+	return
+}()
+
+// Phases returns every accountable phase in index order. Exporters and
+// aggregators iterate this instead of hand-maintaining the phase list.
+// The returned slice is shared; callers must not modify it.
+func Phases() []Phase { return allPhases[:] }
+
 // String names the phase.
 func (p Phase) String() string {
 	switch p {
@@ -36,15 +54,25 @@ func (p Phase) String() string {
 		return "balance"
 	case Migrate:
 		return "migrate"
+	case numPhases:
+		// The array-sizing sentinel is not an accountable phase; name it
+		// distinctly so a stray use is recognizable in output.
+		return "numPhases"
 	default:
 		return fmt.Sprintf("phase(%d)", int(p))
 	}
 }
 
+// PhaseDurations holds one duration per phase, indexed by Phase.
+type PhaseDurations [NumPhases]time.Duration
+
 // Recorder accumulates per-phase durations and counters for one rank.
 // It is not safe for concurrent use; each rank owns one.
 type Recorder struct {
 	durations [numPhases]time.Duration
+	// stepBase holds the cumulative durations at the last StartStep call;
+	// Snapshot reports the delta against it.
+	stepBase [numPhases]time.Duration
 	// MaxParticles tracks the high-water mark of local particle count, the
 	// §V-B metric.
 	MaxParticles int
@@ -73,6 +101,21 @@ func (r *Recorder) Total() time.Duration {
 		t += d
 	}
 	return t
+}
+
+// StartStep marks the beginning of a step for Snapshot accounting. It is
+// allocation-free, so per-step telemetry can call it unconditionally.
+func (r *Recorder) StartStep() { r.stepBase = r.durations }
+
+// Snapshot returns the per-phase durations accumulated since the last
+// StartStep call (or since the recorder's creation, if StartStep was never
+// called). It is allocation-free.
+func (r *Recorder) Snapshot() PhaseDurations {
+	var d PhaseDurations
+	for i := range d {
+		d[i] = r.durations[i] - r.stepBase[i]
+	}
+	return d
 }
 
 // ObserveParticles updates the particle high-water mark.
