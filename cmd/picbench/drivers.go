@@ -14,6 +14,7 @@ import (
 	"github.com/parres/picprk/internal/driver"
 	"github.com/parres/picprk/internal/grid"
 	"github.com/parres/picprk/internal/telemetry"
+	"github.com/parres/picprk/internal/trace"
 )
 
 // The -drivers mode benchmarks the four real goroutine drivers end to end
@@ -34,6 +35,16 @@ type driverBenchResult struct {
 	// ParticleStepsPerSec is N·Steps divided by the per-op wall time — the
 	// throughput number to compare across commits and worker counts.
 	ParticleStepsPerSec float64 `json:"particle_steps_per_sec"`
+	// PhaseNS is the per-phase CPU time of the last timed run, summed over
+	// ranks, keyed by trace.Phase name (compute/exchange/balance/migrate) — the
+	// split that tells an exchange regression from a compute one.
+	PhaseNS map[string]int64 `json:"phase_ns,omitempty"`
+	// ExchangedBytes is the framed columnar wire volume of the particle
+	// exchange over the last timed run, summed over ranks; MigratedBytes the
+	// load-balancing payload volume. Both come from the drivers' own
+	// accounting, not an estimate.
+	ExchangedBytes int64 `json:"exchanged_bytes,omitempty"`
+	MigratedBytes  int64 `json:"migrated_bytes,omitempty"`
 }
 
 // driverBenchReport is the BENCH_driver.json schema.
@@ -100,13 +111,16 @@ func runDriverBench(ranks, workers int, path, timelineDir string) error {
 	}
 	for _, d := range runs {
 		var runErr error
+		var last *driver.Result
 		r := testing.Benchmark(func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, err := d.run(cfg); err != nil {
+				res, err := d.run(cfg)
+				if err != nil {
 					runErr = err
 					b.Fatal(err)
 				}
+				last = res
 			}
 		})
 		if runErr != nil {
@@ -135,9 +149,17 @@ func runDriverBench(ranks, workers int, path, timelineDir string) error {
 		if nsPerOp > 0 {
 			res.ParticleStepsPerSec = float64(cfg.N*cfg.Steps) / (float64(nsPerOp) / float64(time.Second))
 		}
+		if last != nil {
+			res.PhaseNS = phaseSplit(last)
+			for _, s := range last.PerRank {
+				res.ExchangedBytes += s.BytesExchanged
+				res.MigratedBytes += s.BytesMigrated
+			}
+		}
 		rep.Results = append(rep.Results, res)
-		fmt.Printf("%-10s %12d ns/op %12d allocs/op %10.1fM particle-steps/s\n",
-			d.name, res.NsPerOp, res.AllocsPerOp, res.ParticleStepsPerSec/1e6)
+		fmt.Printf("%-10s %12d ns/op %12d allocs/op %10.1fM particle-steps/s  xchg %s\n",
+			d.name, res.NsPerOp, res.AllocsPerOp, res.ParticleStepsPerSec/1e6,
+			fmtBytes(res.ExchangedBytes))
 	}
 
 	data, err := json.MarshalIndent(rep, "", "  ")
@@ -150,6 +172,31 @@ func runDriverBench(ranks, workers int, path, timelineDir string) error {
 	}
 	fmt.Printf("wrote %s\n", path)
 	return nil
+}
+
+// phaseSplit sums a run's per-rank phase times into a name→nanos map using
+// the same phase names as the timeline schema.
+func phaseSplit(res *driver.Result) map[string]int64 {
+	ns := make(map[string]int64, trace.NumPhases)
+	for _, s := range res.PerRank {
+		ns[trace.Compute.String()] += s.Compute.Nanoseconds()
+		ns[trace.Exchange.String()] += s.Exchange.Nanoseconds()
+		ns[trace.Balance.String()] += s.Balance.Nanoseconds()
+		ns[trace.Migrate.String()] += s.Migrate.Nanoseconds()
+	}
+	return ns
+}
+
+// fmtBytes renders a byte count human-readably for the console summary.
+func fmtBytes(n int64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
 }
 
 // writeTimeline writes one run's timeline as JSONL.

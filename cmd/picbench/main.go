@@ -11,6 +11,8 @@
 //	picbench -fig 6r       # one figure: 5 | 6l | 6r | 7 | ws
 //	picbench -quick        # reduced problem sizes (minutes -> seconds)
 //	picbench -drivers      # benchmark the real drivers, write BENCH_driver.json
+//	picbench -benchdiff BENCH_baseline.json BENCH_driver.json
+//	                       # warn-only comparison of two driver reports
 package main
 
 import (
@@ -32,6 +34,7 @@ func main() {
 		plot    = flag.Bool("plot", false, "also draw ASCII log-scale charts")
 		machine = flag.String("machine", "edison", "machine model: edison | fatnode")
 		drivers = flag.Bool("drivers", false, "benchmark the real goroutine drivers and write a JSON report")
+		diff    = flag.Bool("benchdiff", false, "compare two driver reports (args: baseline.json new.json); warn-only, always exits 0 on readable input")
 		out     = flag.String("o", "BENCH_driver.json", "drivers: output path for the JSON report")
 		tlDir   = flag.String("timelines", "", "drivers: also write TIMELINE_<driver>.jsonl telemetry to this directory (one extra untimed run each)")
 		ranks   = flag.Int("p", 4, "drivers: number of ranks")
@@ -63,6 +66,17 @@ func main() {
 				fatal(err)
 			}
 		}()
+	}
+
+	if *diff {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: picbench -benchdiff baseline.json new.json")
+			os.Exit(2)
+		}
+		if err := runBenchDiff(flag.Arg(0), flag.Arg(1)); err != nil {
+			fatal(err)
+		}
+		return
 	}
 
 	if *drivers {

@@ -95,15 +95,20 @@ func printReport(tl *telemetry.Timeline, top, rows int) {
 	}
 	first, last := ss[0], ss[len(ss)-1]
 	lo, hi, decisions := first.Load.Imbalance, first.Load.Imbalance, 0
+	var xbytes, mbytes int64
 	for _, st := range ss {
 		lo = min(lo, st.Load.Imbalance)
 		hi = max(hi, st.Load.Imbalance)
 		if st.Decision != "" {
 			decisions++
 		}
+		xbytes += st.ExchangeBytes
+		mbytes += st.Bytes
 	}
 	fmt.Printf("  imbalance first %.3f, last %.3f, min %.3f, max %.3f; %d balancing decision(s)\n",
 		first.Load.Imbalance, last.Load.Imbalance, lo, hi, decisions)
+	fmt.Printf("  exchanged %d bytes on the wire (framed columnar), migrated %d bytes for balancing\n",
+		xbytes, mbytes)
 
 	fmt.Printf("\nworst %d step(s) by wall time (slowest rank sets the pace):\n", min(top, len(ss)))
 	fmt.Printf("  %6s  %10s  %10s  %10s  %10s  %10s  %7s\n",

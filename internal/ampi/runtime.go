@@ -35,6 +35,9 @@ type Runtime struct {
 	// cores (updated in lockstep by LoadBalance).
 	location []int
 	local    map[int]VP
+	// ids caches the sorted local VP ids (LocalIDs is on the per-step hot
+	// path); nil means stale, rebuilt lazily and invalidated by Migrate.
+	ids []int
 
 	// Stats accumulates migration counters for this core.
 	Stats Stats
@@ -91,14 +94,18 @@ func (rt *Runtime) Location(vp int) int { return rt.location[vp] }
 // Local returns the locally-hosted VP with the given id, or nil.
 func (rt *Runtime) Local(vp int) VP { return rt.local[vp] }
 
-// LocalIDs returns the ids of locally-hosted VPs in ascending order.
+// LocalIDs returns the ids of locally-hosted VPs in ascending order. The
+// returned slice is shared and valid until the next Migrate call; callers
+// must not modify or retain it across migrations.
 func (rt *Runtime) LocalIDs() []int {
-	ids := make([]int, 0, len(rt.local))
-	for id := range rt.local {
-		ids = append(ids, id)
+	if rt.ids == nil {
+		rt.ids = make([]int, 0, len(rt.local))
+		for id := range rt.local {
+			rt.ids = append(rt.ids, id)
+		}
+		sort.Ints(rt.ids)
 	}
-	sort.Ints(ids)
-	return ids
+	return rt.ids
 }
 
 // ForEach invokes fn on every local VP in ascending id order (the
@@ -182,6 +189,7 @@ func (rt *Runtime) Migrate(newOwner []int) (int, error) {
 		rt.Stats.BytesReceived += int64(len(buf))
 	}
 	rt.location = append(rt.location[:0], newOwner...)
+	rt.ids = nil // the local set changed; LocalIDs rebuilds lazily
 	return moves, nil
 }
 

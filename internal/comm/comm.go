@@ -202,6 +202,7 @@ type Comm struct {
 	splits    uint64
 	sparseSeq uint64
 	gatherSeq uint64
+	xchgSeq   uint64
 	chaos     *rand.Rand
 }
 

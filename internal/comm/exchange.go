@@ -1,0 +1,56 @@
+package comm
+
+// The columnar exchange collective. SparseExchange is convenient but it
+// allocates on every call (indicator slice, allreduce internals, output
+// bucket slice) and boxes []T slice headers through any, which escapes to
+// the heap. ExchangePtr is the allocation-free alternative for the particle
+// exchange hot path: payloads are *T pointers into caller-owned,
+// double-buffered storage, so boxing a pointer into any allocates nothing,
+// and the send/receive schedule is the fixed Alltoall ring, so no
+// metadata agreement round is needed.
+
+// tagXchgBase is the base of the exchange collective's tag space. Like the
+// sparse exchange, each call carries a per-call sequence number in its tag:
+// chaos mode (Options.ChaosDelay) delivers each message on its own delayed
+// goroutine, so two consecutive exchanges' messages between the same
+// (source, destination) pair can arrive reordered — distinct per-call tags
+// keep them matched to the right call.
+const tagXchgBase = -5000000
+
+// ExchangePtr sends send[i] to rank i and fills recv[j] with the pointer
+// received from rank j, for every rank. Both slices must have length
+// Size(). A nil pointer is a valid payload ("nothing for you") and is
+// delivered like any other; recv[rank] is set to send[rank] locally.
+//
+// Unlike SparseExchange the schedule is a full ring: every rank sends to
+// every other rank each call, even when the payload is nil. That costs P-1
+// tiny messages but buys the double-buffering contract below, and pointer
+// payloads make each message allocation-free (boxing a pointer into any
+// does not allocate).
+//
+// Double-buffering contract: ownership of *send[i] passes to the receiver
+// until the caller's NEXT ExchangePtr call on this communicator completes.
+// The full ring makes this safe: completing call k+1 means every rank has
+// received this rank's k+1 message, which each rank sent only after its own
+// call k returned — i.e. after it finished reading the call-k payloads. So
+// a caller alternating between two generations of backing buffers
+// (write gen A, exchange, write gen B, exchange, overwrite gen A, ...)
+// never overwrites a buffer a peer might still read, even under chaos-mode
+// delivery delays. This argument needs every rank to hear from every other
+// rank each call — do not "optimize" away the nil sends.
+func ExchangePtr[T any](c *Comm, send, recv []*T) {
+	p := c.Size()
+	if len(send) != p || len(recv) != p {
+		panic("comm: ExchangePtr send/recv length must equal communicator size")
+	}
+	c.xchgSeq++
+	tag := tagXchgBase - int(c.xchgSeq%1000000)
+	recv[c.rank] = send[c.rank]
+	for i := 1; i < p; i++ {
+		dst := (c.rank + i) % p
+		src := (c.rank - i + p) % p
+		c.Send(dst, tag, send[dst])
+		data, _ := c.Recv(src, tag)
+		recv[src] = cast[*T](data, "ExchangePtr")
+	}
+}

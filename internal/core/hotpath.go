@@ -89,6 +89,80 @@ func moveRangeGeneric(s *SoA, lo, hi int, src ChargeSource, m grid.Mesh) {
 	}
 }
 
+// moveClassifyRange is moveRange fused with destination classification:
+// after a particle's update, its new cell is looked up in the owner table
+// and, when the owner differs from self, (index, owner) is recorded on the
+// chunk's leaver list. The move arithmetic is byte-for-byte the same code as
+// the plain loops — classification only adds reads after the update — so
+// results stay bitwise identical to moveRange.
+func moveClassifyRange(s *SoA, lo, hi int, src ChargeSource, m grid.Mesh, ot *OwnerTable, self int32, lv *Leavers, w int) {
+	switch b := src.(type) {
+	case grid.Mesh:
+		moveClassifyRangeMesh(s, lo, hi, b, m, ot, self, lv, w)
+	case *grid.Block:
+		moveClassifyRangeBlock(s, lo, hi, b, m, ot, self, lv, w)
+	default:
+		moveClassifyRangeGeneric(s, lo, hi, src, m, ot, self, lv, w)
+	}
+}
+
+// moveClassifyRangeMesh fuses classification into the formulaic-field path.
+func moveClassifyRangeMesh(s *SoA, lo, hi int, cm, m grid.Mesh, ot *OwnerTable, self int32, lv *Leavers, w int) {
+	xs, ys, vxs, vys, qs := s.X, s.Y, s.VX, s.VY, s.Q
+	for i := lo; i < hi; i++ {
+		cx, cy := m.CellOf(xs[i], ys[i])
+		q00 := cm.Q
+		if cx&1 == 1 {
+			q00 = -q00
+		}
+		ax, ay := forceCorners(q00, -q00, q00, -q00, qs[i], xs[i]-float64(cx), ys[i]-float64(cy))
+		xs[i] = m.WrapCoord(xs[i] + vxs[i] + 0.5*ax)
+		ys[i] = m.WrapCoord(ys[i] + vys[i] + 0.5*ay)
+		vxs[i] += ax
+		vys[i] += ay
+		ncx, ncy := m.CellOf(xs[i], ys[i])
+		if o := ot.Owner(ncx, ncy); o != self {
+			lv.Add(w, int32(i), o)
+		}
+	}
+}
+
+// moveClassifyRangeBlock fuses classification into the materialized-field
+// path.
+func moveClassifyRangeBlock(s *SoA, lo, hi int, b *grid.Block, m grid.Mesh, ot *OwnerTable, self int32, lv *Leavers, w int) {
+	xs, ys, vxs, vys, qs := s.X, s.Y, s.VX, s.VY, s.Q
+	for i := lo; i < hi; i++ {
+		cx, cy := m.CellOf(xs[i], ys[i])
+		q00, q10, q01, q11 := b.CornerCharges(cx, cy)
+		ax, ay := forceCorners(q00, q10, q01, q11, qs[i], xs[i]-float64(cx), ys[i]-float64(cy))
+		xs[i] = m.WrapCoord(xs[i] + vxs[i] + 0.5*ax)
+		ys[i] = m.WrapCoord(ys[i] + vys[i] + 0.5*ay)
+		vxs[i] += ax
+		vys[i] += ay
+		ncx, ncy := m.CellOf(xs[i], ys[i])
+		if o := ot.Owner(ncx, ncy); o != self {
+			lv.Add(w, int32(i), o)
+		}
+	}
+}
+
+// moveClassifyRangeGeneric fuses classification into the generic path.
+func moveClassifyRangeGeneric(s *SoA, lo, hi int, src ChargeSource, m grid.Mesh, ot *OwnerTable, self int32, lv *Leavers, w int) {
+	xs, ys, vxs, vys, qs := s.X, s.Y, s.VX, s.VY, s.Q
+	for i := lo; i < hi; i++ {
+		cx, cy := m.CellOf(xs[i], ys[i])
+		ax, ay := Force(src, qs[i], xs[i], ys[i], cx, cy)
+		xs[i] = m.WrapCoord(xs[i] + vxs[i] + 0.5*ax)
+		ys[i] = m.WrapCoord(ys[i] + vys[i] + 0.5*ay)
+		vxs[i] += ax
+		vys[i] += ay
+		ncx, ncy := m.CellOf(xs[i], ys[i])
+		if o := ot.Owner(ncx, ncy); o != self {
+			lv.Add(w, int32(i), o)
+		}
+	}
+}
+
 // chunkBounds returns the half-open particle range of chunk w when n
 // particles are split into `workers` contiguous chunks. Boundaries are a
 // pure function of (n, workers, w); they exist for cache locality, not for
@@ -133,6 +207,11 @@ type MovePool struct {
 	s   *SoA
 	src ChargeSource
 	m   grid.Mesh
+	// Classification extension of the job: when lv is non-nil the workers
+	// run the fused move+classify loops, tagging leavers per chunk.
+	ot   *OwnerTable
+	self int32
+	lv   *Leavers
 }
 
 // NewMovePool starts a pool with the given number of workers (minimum 1).
@@ -160,7 +239,11 @@ func (p *MovePool) Workers() int { return p.workers }
 func (p *MovePool) worker(w int, wake <-chan struct{}) {
 	for range wake {
 		lo, hi := chunkBounds(p.s.Len(), p.workers, w)
-		moveRange(p.s, lo, hi, p.src, p.m)
+		if p.lv != nil {
+			moveClassifyRange(p.s, lo, hi, p.src, p.m, p.ot, p.self, p.lv, w)
+		} else {
+			moveRange(p.s, lo, hi, p.src, p.m)
+		}
 		p.busy.Done()
 	}
 }
@@ -180,6 +263,30 @@ func (p *MovePool) Move(s *SoA, src ChargeSource, m grid.Mesh) {
 	}
 	p.busy.Wait()
 	p.s, p.src = nil, nil
+}
+
+// MoveClassify is Move fused with destination classification: every
+// particle is advanced one step and, when its new cell's owner (per the
+// owner table) differs from self, recorded on lv with its destination. The
+// leaver lists come back ready for SoA.ScatterRemove — the exchange phase
+// needs no second sweep over the particles. lv is Reset here; like Move,
+// the call performs zero heap allocations once lv reached its high-water
+// capacity, and results are bitwise identical at any worker count.
+func (p *MovePool) MoveClassify(s *SoA, src ChargeSource, m grid.Mesh, ot *OwnerTable, self int32, lv *Leavers) {
+	if p.workers == 1 || s.Len() < parallelThreshold {
+		lv.Reset(1)
+		moveClassifyRange(s, 0, s.Len(), src, m, ot, self, lv, 0)
+		return
+	}
+	lv.Reset(p.workers)
+	p.s, p.src, p.m = s, src, m
+	p.ot, p.self, p.lv = ot, self, lv
+	p.busy.Add(p.workers)
+	for _, ch := range p.wake {
+		ch <- struct{}{}
+	}
+	p.busy.Wait()
+	p.s, p.src, p.ot, p.lv = nil, nil, nil, nil
 }
 
 // Close terminates the worker goroutines. The pool must be idle; Move must

@@ -49,17 +49,26 @@ func NewSoA(ps []particle.Particle) *SoA {
 // Len returns the particle count.
 func (s *SoA) Len() int { return len(s.X) }
 
-// Particles converts back to AoS.
+// Particles converts back to AoS in a fresh slice. Callers that convert
+// repeatedly should hold a scratch buffer and use AppendParticles instead —
+// this convenience form allocates the full copy every call.
 func (s *SoA) Particles() []particle.Particle {
-	ps := make([]particle.Particle, s.Len())
-	for i := range ps {
+	return s.AppendParticles(make([]particle.Particle, 0, s.Len()))
+}
+
+// AppendParticles appends every particle, in AoS form, to dst and returns
+// the extended slice. Passing a reused scratch buffer (truncated to [:0])
+// makes repeated conversions allocation-free once the buffer reached the
+// particle-count high-water mark.
+func (s *SoA) AppendParticles(dst []particle.Particle) []particle.Particle {
+	for i := range s.X {
 		m := s.Meta[i]
-		ps[i] = particle.Particle{
+		dst = append(dst, particle.Particle{
 			ID: m.ID, X: s.X[i], Y: s.Y[i], VX: s.VX[i], VY: s.VY[i], Q: s.Q[i],
 			X0: m.X0, Y0: m.Y0, K: m.K, M: m.M, Dir: m.Dir, Born: m.Born,
-		}
+		})
 	}
-	return ps
+	return dst
 }
 
 // MoveAllSoA advances every particle one step, bitwise identically to

@@ -20,8 +20,13 @@ import (
 // affected mesh columns/rows between neighbors ("mpi-2d-LB").
 //
 // Particles live in an SoA container and move through a persistent worker
-// pool; the exchange and measurement phases reuse their scratch buffers, so
-// a steady-state step (no events, no balancing) stays off the allocator.
+// pool. The exchange pipeline is columnar: destination classification is
+// fused into the move pass (MovePool.MoveClassify fills a per-chunk Leavers
+// list against the dense OwnerTable), ScatterRemove compacts stayers in
+// place and scatters leavers into per-destination Columns shards, and
+// comm.ExchangePtr ships the shards by pointer. Every buffer is
+// double-buffered and reused, so a steady-state step (no events, no
+// balancing) stays off the allocator entirely.
 type blockSubstrate struct {
 	c     *comm.Comm
 	cfg   Config
@@ -31,10 +36,25 @@ type blockSubstrate struct {
 	soa   *core.SoA
 	pool  *core.MovePool
 
-	// Reused steady-state scratch: double-buffered exchange buckets (see
-	// sendBuckets for why two generations suffice) and the load histograms.
-	buckets     sendBuckets[particle.Particle]
+	// ot is the dense cell→rank lookup for the current decomposition,
+	// rebuilt whenever Execute installs new cuts.
+	ot *core.OwnerTable
+	// lv holds the leavers tagged by the last fused move+classify pass;
+	// classified says whether lv is current (Move sets it, Exchange consumes
+	// it — the rehome exchange after a cut shift arrives without a Move and
+	// falls back to a serial classification sweep).
+	lv         core.Leavers
+	classified bool
+	// shards / sendPtrs / recvPtrs are the reused columnar exchange state
+	// (see colShards and comm.ExchangePtr for the double-buffering rules).
+	shards             colShards
+	sendPtrs, recvPtrs []*core.Columns
+	xbytes             int64
+
+	// Reused steady-state scratch: load histograms and the verification
+	// AoS conversion buffer.
 	hist, rhist []int64
+	psScratch   []particle.Particle
 
 	migrations int
 	bytes      int64
@@ -53,6 +73,7 @@ func newBlockSubstrate(c *comm.Comm, cfg Config, px, py int) (*blockSubstrate, e
 	}
 	s := &blockSubstrate{
 		c: c, cfg: cfg, cart: cart, g: g, block: block,
+		ot:    core.NewOwnerTable(g.X.Cuts, g.Y.Cuts),
 		hist:  make([]int64, cfg.Mesh.L),
 		rhist: make([]int64, cfg.Mesh.L),
 	}
@@ -69,36 +90,64 @@ func (s *blockSubstrate) owns(cx, cy int) bool { return s.g.OwnerOfCell(cx, cy) 
 
 // Move implements Substrate: the pool advances disjoint SoA chunks in
 // parallel against the local materialized block (the devirtualized fast
-// path — see core/hotpath.go).
-func (s *blockSubstrate) Move() { s.pool.Move(s.soa, s.block, s.cfg.Mesh) }
+// path — see core/hotpath.go), tagging leavers into lv as it goes — the new
+// cell is computed inside the move loop anyway, so classification is free
+// and Exchange needs no second sweep.
+func (s *blockSubstrate) Move() {
+	s.pool.MoveClassify(s.soa, s.block, s.cfg.Mesh, s.ot, int32(s.c.Rank()), &s.lv)
+	s.classified = true
+}
 
-// Exchange implements Substrate: one pass compacts stayers in place and
-// buckets leavers by owner rank, then a sparse exchange delivers them. The
-// loop is written without closures and the buckets are double-buffered so
-// the steady state allocates nothing beyond the collective's own bookkeeping.
-func (s *blockSubstrate) Exchange(rec *trace.Recorder) error {
-	start := time.Now()
-	me := s.c.Rank()
-	mesh := s.cfg.Mesh
-	soa := s.soa
-	buckets := s.buckets.next(s.c.Size())
-	w := 0
+// classifyAll rebuilds lv with a serial sweep, for exchanges that do not
+// follow a Move (the rehome exchange after a decomposition change — the
+// fused tags from the last Move are stale there).
+func (s *blockSubstrate) classifyAll() {
+	s.lv.Reset(1)
+	soa, mesh, self := s.soa, s.cfg.Mesh, int32(s.c.Rank())
 	for i := 0; i < soa.Len(); i++ {
 		cx, cy := mesh.CellOf(soa.X[i], soa.Y[i])
-		dst := s.g.OwnerOfCell(cx, cy)
-		if dst == me {
-			soa.Copy(w, i)
-			w++
-		} else {
-			buckets[dst] = append(buckets[dst], soa.At(i))
+		if o := s.ot.Owner(cx, cy); o != self {
+			s.lv.Add(0, int32(i), o)
 		}
 	}
-	soa.Truncate(w)
-	for src, b := range comm.SparseExchange(s.c, buckets) {
-		if src == me {
-			continue // self bucket is always empty here
+}
+
+// Exchange implements Substrate: scatter the tagged leavers into
+// per-destination Columns shards (compacting stayers in place with bulk
+// copies) and ship the shards by pointer through the full-ring collective.
+// No particle is ever materialized in AoS form and the steady state
+// allocates nothing — shards, pointer slices and leaver lists are all
+// reused generation-to-generation.
+func (s *blockSubstrate) Exchange(rec *trace.Recorder) error {
+	start := time.Now()
+	if !s.classified {
+		s.classifyAll()
+	}
+	s.classified = false
+	p, me := s.c.Size(), s.c.Rank()
+	shards := s.shards.next(p)
+	s.soa.ScatterRemove(&s.lv, shards)
+	if len(s.sendPtrs) != p {
+		s.sendPtrs = make([]*core.Columns, p)
+		s.recvPtrs = make([]*core.Columns, p)
+	}
+	for dst := range shards {
+		sh := &shards[dst]
+		if dst == me || sh.Len() == 0 {
+			s.sendPtrs[dst] = nil
+			continue
 		}
-		soa.AppendAll(b)
+		s.sendPtrs[dst] = sh
+		s.xbytes += sh.FramedBytes()
+	}
+	comm.ExchangePtr(s.c, s.sendPtrs, s.recvPtrs)
+	for src := 0; src < p; src++ {
+		if src == me {
+			continue // self shard is always empty (classification excludes self)
+		}
+		if c := s.recvPtrs[src]; c != nil {
+			s.soa.AppendColumns(c)
+		}
 	}
 	rec.Add(trace.Exchange, time.Since(start))
 	return nil
@@ -139,8 +188,10 @@ func (s *blockSubstrate) Measure(n balance.Needs) balance.Loads {
 }
 
 // Execute implements Substrate: install the new cut arrays, shipping the
-// charge data of ceded columns/rows to the neighbors gaining them. The
-// particles themselves rehome via the engine's follow-up exchange.
+// charge data of ceded columns/rows to the neighbors gaining them, then
+// rebuild the owner table so the follow-up rehome exchange (and subsequent
+// fused classification) sees the new decomposition. The particles
+// themselves rehome via the engine's follow-up exchange.
 func (s *blockSubstrate) Execute(plan balance.Plan) (bool, error) {
 	if plan.X != nil {
 		ng := &decomp.Grid2D{PX: s.g.PX, PY: s.g.PY, X: plan.X.Clone(), Y: s.g.Y.Clone()}
@@ -162,26 +213,34 @@ func (s *blockSubstrate) Execute(plan balance.Plan) (bool, error) {
 		s.migrations++
 		s.g, s.block = ng, nb
 	}
+	s.ot = core.NewOwnerTable(s.g.X.Cuts, s.g.Y.Cuts)
 	return true, nil
 }
 
 // CheckOwnership implements Substrate.
 func (s *blockSubstrate) CheckOwnership(step int) error {
-	soa, mesh := s.soa, s.cfg.Mesh
+	soa, mesh, self := s.soa, s.cfg.Mesh, int32(s.c.Rank())
 	for i := 0; i < soa.Len(); i++ {
 		cx, cy := mesh.CellOf(soa.X[i], soa.Y[i])
-		if !s.owns(cx, cy) {
+		if s.ot.Owner(cx, cy) != self {
 			return fmt.Errorf("driver: step %d: particle %d at cell (%d,%d) not owned here", step, soa.Meta[i].ID, cx, cy)
 		}
 	}
 	return nil
 }
 
-// Particles implements Substrate.
-func (s *blockSubstrate) Particles() []particle.Particle { return s.soa.Particles() }
+// Particles implements Substrate. The returned slice is scratch, valid
+// until the next Particles call.
+func (s *blockSubstrate) Particles() []particle.Particle {
+	s.psScratch = s.soa.AppendParticles(s.psScratch[:0])
+	return s.psScratch
+}
 
 // MigrationStats implements Substrate.
 func (s *blockSubstrate) MigrationStats() (int, int64) { return s.migrations, s.bytes }
+
+// ExchangeBytes implements Substrate.
+func (s *blockSubstrate) ExchangeBytes() int64 { return s.xbytes }
 
 // Close implements Substrate.
 func (s *blockSubstrate) Close() { s.pool.Close() }
@@ -197,17 +256,22 @@ type colsParcel struct {
 
 // migrateColumns rebuilds the local grid block after the x-cuts changed.
 // Each rank ships the charge data of columns it loses to the row neighbor
-// gaining them and validates what it receives against the formulaic field —
-// the data volume is what the paper charges the diffusion scheme for.
-// It returns the new block and the number of payload bytes sent.
+// gaining them (at most one parcel per neighbor, moved by pointer through
+// the row communicator's exchange collective) and validates what it
+// receives against the formulaic field — the data volume is what the paper
+// charges the diffusion scheme for. It returns the new block and the number
+// of payload bytes sent.
 func migrateColumns(cart *comm.Cart2D, m grid.Mesh, old, nw *decomp.Grid2D, block *grid.Block) (*grid.Block, int64, error) {
 	me := cart.Comm.Rank()
 	row := cart.Row
 	oldX0, _, oldNX, _ := old.RankRect(me)
 	newX0, newY0, newNX, newNY := nw.RankRect(me)
 
-	// Build one parcel per row neighbor that gains columns I currently own.
-	buckets := make([][]colsParcel, row.Size())
+	// One parcel per row neighbor that gains columns I currently own; the
+	// row communicator's rank i is the rank with CX == i, so parcels index
+	// directly by target px.
+	send := make([]*colsParcel, row.Size())
+	recv := make([]*colsParcel, row.Size())
 	var sent int64
 	for opx := 0; opx < nw.PX; opx++ {
 		if opx == cart.CX {
@@ -222,20 +286,21 @@ func migrateColumns(cart *comm.Cart2D, m grid.Mesh, old, nw *decomp.Grid2D, bloc
 		if err != nil {
 			return nil, 0, err
 		}
-		buckets[opx] = append(buckets[opx], colsParcel{X0: lo, W: hi - lo, Cols: cols})
+		send[opx] = &colsParcel{X0: lo, W: hi - lo, Cols: cols}
 		sent += int64(8 * len(cols))
 	}
-	incoming := comm.SparseExchange(row, buckets)
+	comm.ExchangePtr(row, send, recv)
 
 	nb, err := grid.NewBlock(m, newX0, newY0, newNX, newNY)
 	if err != nil {
 		return nil, 0, err
 	}
-	for _, parcels := range incoming {
-		for _, pc := range parcels {
-			if err := nb.ValidateColumns(pc.Cols, pc.X0); err != nil {
-				return nil, 0, err
-			}
+	for src, pc := range recv {
+		if src == cart.CX || pc == nil {
+			continue
+		}
+		if err := nb.ValidateColumns(pc.Cols, pc.X0); err != nil {
+			return nil, 0, err
 		}
 	}
 	return nb, sent, nil
@@ -258,7 +323,8 @@ func migrateRows(cart *comm.Cart2D, m grid.Mesh, old, nw *decomp.Grid2D, block *
 	_, oldY0, _, oldNY := old.RankRect(me)
 	newX0, newY0, newNX, newNY := nw.RankRect(me)
 
-	buckets := make([][]rowsParcel, col.Size())
+	send := make([]*rowsParcel, col.Size())
+	recv := make([]*rowsParcel, col.Size())
 	var sent int64
 	for opy := 0; opy < nw.PY; opy++ {
 		if opy == cart.CY {
@@ -273,20 +339,21 @@ func migrateRows(cart *comm.Cart2D, m grid.Mesh, old, nw *decomp.Grid2D, block *
 		if err != nil {
 			return nil, 0, err
 		}
-		buckets[opy] = append(buckets[opy], rowsParcel{Y0: lo, H: hi - lo, Rows: rows})
+		send[opy] = &rowsParcel{Y0: lo, H: hi - lo, Rows: rows}
 		sent += int64(8 * len(rows))
 	}
-	incoming := comm.SparseExchange(col, buckets)
+	comm.ExchangePtr(col, send, recv)
 
 	nb, err := grid.NewBlock(m, newX0, newY0, newNX, newNY)
 	if err != nil {
 		return nil, 0, err
 	}
-	for _, parcels := range incoming {
-		for _, pc := range parcels {
-			if err := nb.ValidateRows(pc.Rows, pc.Y0); err != nil {
-				return nil, 0, err
-			}
+	for src, pc := range recv {
+		if src == cart.CY || pc == nil {
+			continue
+		}
+		if err := nb.ValidateRows(pc.Rows, pc.Y0); err != nil {
+			return nil, 0, err
 		}
 	}
 	return nb, sent, nil

@@ -144,6 +144,9 @@ type RankStats struct {
 	Migrations int
 	// BytesMigrated counts LB payload bytes sent by this rank.
 	BytesMigrated int64
+	// BytesExchanged counts particle-exchange payload bytes sent by this
+	// rank, in the framed columnar wire size (core.Columns.FramedBytes).
+	BytesExchanged int64
 }
 
 // Result is what a driver run returns on rank 0.
@@ -312,6 +315,32 @@ func (b *sendBuckets[T]) next(p int) [][]T {
 	return cur
 }
 
+// colShards is the double-buffered set of per-destination core.Columns
+// shards for the columnar exchange. The safety argument is the one
+// comm.ExchangePtr documents: the full-ring schedule means completing call
+// k+1 implies every receiver finished reading call k's shards, so
+// alternating two generations never overwrites a shard still in flight —
+// even under chaos-mode delivery delays.
+type colShards struct {
+	gens [2][]core.Columns
+	gen  int
+}
+
+// next returns the older generation's shards, emptied and sized for p
+// destinations, and flips the generation.
+func (b *colShards) next(p int) []core.Columns {
+	cur := b.gens[b.gen]
+	if len(cur) != p {
+		cur = make([]core.Columns, p)
+		b.gens[b.gen] = cur
+	}
+	b.gen = 1 - b.gen
+	for i := range cur {
+		cur[i].Reset()
+	}
+	return cur
+}
+
 // distributedVerify is the parallel verification of paper §III-D: local
 // closed-form position checks plus one allreduce for the population count
 // and ID checksum. No rank ever sees the global particle set.
@@ -374,7 +403,7 @@ func gatherAndVerify(c *comm.Comm, cfg Config, ps []particle.Particle) ([]partic
 }
 
 // collectResult gathers per-rank stats at rank 0 and assembles the Result.
-func collectResult(c *comm.Comm, name string, cfg Config, rec *trace.Recorder, nLocal int, bytesMigrated int64, migrations int) *Result {
+func collectResult(c *comm.Comm, name string, cfg Config, rec *trace.Recorder, nLocal int, bytesMigrated, bytesExchanged int64, migrations int) *Result {
 	st := RankStats{
 		Rank:           c.Rank(),
 		Compute:        rec.Get(trace.Compute),
@@ -385,6 +414,7 @@ func collectResult(c *comm.Comm, name string, cfg Config, rec *trace.Recorder, n
 		MaxParticles:   rec.MaxParticles,
 		Migrations:     migrations,
 		BytesMigrated:  bytesMigrated,
+		BytesExchanged: bytesExchanged,
 	}
 	all := comm.Gather(c, 0, st)
 	if c.Rank() != 0 {

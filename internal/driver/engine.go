@@ -44,6 +44,9 @@ type Substrate interface {
 	// MigrationStats reports accumulated LB data movement: actions that
 	// moved data to or from this rank, and payload bytes sent.
 	MigrationStats() (migrations int, bytes int64)
+	// ExchangeBytes reports accumulated particle-exchange payload bytes sent
+	// by this rank, in the framed columnar wire size.
+	ExchangeBytes() int64
 	// Close releases per-rank resources (the move worker pool). The engine
 	// calls it exactly once when the rank's pipeline exits.
 	Close()
@@ -122,7 +125,7 @@ func (e *Engine) runRank(c *comm.Comm) (*Result, error) {
 	}
 	sampling := ring != nil || cfg.Live != nil
 	var prevMigrations int
-	var prevBytes int64
+	var prevBytes, prevXBytes int64
 
 	interval := bal.Interval()
 	needs := bal.Needs()
@@ -183,16 +186,18 @@ func (e *Engine) runRank(c *comm.Comm) (*Result, error) {
 
 		if sampling {
 			migrations, bytes := sub.MigrationStats()
+			xbytes := sub.ExchangeBytes()
 			s := telemetry.Sample{
-				Step:       step,
-				Rank:       c.Rank(),
-				Phases:     rec.Snapshot(),
-				Particles:  sub.Count(),
-				Migrations: migrations - prevMigrations,
-				Bytes:      bytes - prevBytes,
-				Decision:   decision,
+				Step:          step,
+				Rank:          c.Rank(),
+				Phases:        rec.Snapshot(),
+				Particles:     sub.Count(),
+				Migrations:    migrations - prevMigrations,
+				Bytes:         bytes - prevBytes,
+				ExchangeBytes: xbytes - prevXBytes,
+				Decision:      decision,
 			}
-			prevMigrations, prevBytes = migrations, bytes
+			prevMigrations, prevBytes, prevXBytes = migrations, bytes, xbytes
 			ring.Append(s)
 			cfg.Live.Observe(s)
 		}
@@ -206,7 +211,7 @@ func (e *Engine) runRank(c *comm.Comm) (*Result, error) {
 	timeline := gatherTimeline(c, e.Name, cfg, ring)
 	migrations, bytes := sub.MigrationStats()
 	rec.Migrations = migrations
-	res := collectResult(c, e.Name, cfg, rec, len(ps), bytes, migrations)
+	res := collectResult(c, e.Name, cfg, rec, len(ps), bytes, sub.ExchangeBytes(), migrations)
 	if res != nil {
 		res.Verified = verified && (cfg.Verify || cfg.DistributedVerify)
 		if cfg.Verify {

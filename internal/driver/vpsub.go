@@ -2,7 +2,6 @@ package driver
 
 import (
 	"fmt"
-	"sort"
 	"time"
 
 	"github.com/parres/picprk/internal/ampi"
@@ -29,6 +28,9 @@ type picVP struct {
 	nx, ny int
 	block  *grid.Block
 	soa    *core.SoA
+	// scratch is the reused AoS conversion buffer for packing; it is not
+	// part of the PUPed state.
+	scratch []particle.Particle
 }
 
 // VPID implements ampi.VP.
@@ -50,7 +52,8 @@ func (v *picVP) PUP(p *pup.PUPer) {
 	var ps []particle.Particle
 	if p.Mode() != pup.Unpacking {
 		data = v.block.OwnedData()
-		ps = v.soa.Particles()
+		v.scratch = v.soa.AppendParticles(v.scratch[:0])
+		ps = v.scratch
 	}
 	p.Float64s(&data)
 	pup.Slice(p, &ps, func(p *pup.PUPer, e *particle.Particle) { e.PUP(p) })
@@ -65,11 +68,12 @@ func (v *picVP) PUP(p *pup.PUPer) {
 	}
 }
 
-// vpParcel is a bundle of particles bound for one VP, exchanged at core
-// level each step.
-type vpParcel struct {
-	VP int
-	Ps []particle.Particle
+// vpColParcel addresses one destination VP's shard of arriving particles
+// inside a per-core parcel list. The Columns pointer refers into the
+// sender's double-buffered shard set (see colShards for the reuse rules).
+type vpColParcel struct {
+	VP   int
+	Cols *core.Columns
 }
 
 // vpSubstrate realizes the §IV-C execution model: the static 2D algorithm
@@ -77,6 +81,13 @@ type vpParcel struct {
 // with a strategy-driven Balancer deciding VP placement and PUP-serialized
 // migration executing it. It backs both the "ampi" and the "worksteal"
 // drivers.
+//
+// The per-step exchange is columnar, like the block substrate's: the move
+// pass classifies leavers against the static cell→VP owner table,
+// ScatterRemove deposits them into per-VP Columns shards, the shards are
+// grouped into per-core parcel lists, and comm.ExchangePtr moves the lists
+// by pointer. All of it reuses double-buffered storage, so the steady-state
+// step stays off the allocator.
 type vpSubstrate struct {
 	c    *comm.Comm
 	cfg  Config
@@ -84,13 +95,24 @@ type vpSubstrate struct {
 	rt   *ampi.Runtime
 	pool *core.MovePool
 
-	// outbound accumulates leaver parcels during Move for Exchange to
-	// deliver; moved is the reused AoS scratch the per-VP split compacts
-	// leavers into; buckets is the double-buffered per-core parcel store
-	// (see sendBuckets).
-	outbound []vpParcel
-	moved    []particle.Particle
-	buckets  sendBuckets[vpParcel]
+	// vot is the dense cell→VP owner table; the VP decomposition is static,
+	// so it is built once.
+	vot *core.OwnerTable
+	// lv is the per-VP move pass's leaver list (reset per VP); shards holds
+	// the double-buffered per-destination-VP Columns, filled by Move (cur is
+	// the generation in flight) and shipped by Exchange.
+	lv     core.Leavers
+	shards colShards
+	cur    []core.Columns
+	// lists / sendPtrs / recvPtrs are the per-core parcel groupings; lists
+	// is double-buffered because ExchangePtr transfers ownership of the
+	// pointed-to slices until the next call completes.
+	lists              [2][][]vpColParcel
+	lgen               int
+	sendPtrs, recvPtrs []*[]vpColParcel
+
+	psScratch []particle.Particle
+	xbytes    int64
 }
 
 func newVPSubstrate(c *comm.Comm, cfg Config, overdecompose int) (*vpSubstrate, error) {
@@ -138,46 +160,80 @@ func newVPSubstrate(c *comm.Comm, cfg Config, overdecompose int) (*vpSubstrate, 
 		return nil, err
 	}
 	pool := core.NewMovePool(cfg.effectiveWorkers(c.Size()))
-	return &vpSubstrate{c: c, cfg: cfg, vg: vg, rt: rt, pool: pool}, nil
+	return &vpSubstrate{
+		c: c, cfg: cfg, vg: vg, rt: rt, pool: pool,
+		vot: core.NewOwnerTable(vg.X.Cuts, vg.Y.Cuts),
+	}, nil
 }
 
-// Move implements Substrate: the core's scheduler runs each local VP in
-// turn through the shared worker pool; leavers are split off into parcels
-// for the exchange phase. The split reuses the AoS scratch buffer — the
-// parcels copy the leavers out, so refilling it next VP is safe.
+// Move implements Substrate: each local VP runs through the shared worker
+// pool's fused move+classify pass against the static cell→VP owner table;
+// its leavers scatter straight into the per-destination-VP Columns shards
+// of the current generation — no AoS materialization, no second sweep.
 func (s *vpSubstrate) Move() {
-	s.outbound = s.outbound[:0]
-	s.rt.ForEach(func(avp ampi.VP) {
-		v := avp.(*picVP)
-		s.pool.Move(v.soa, v.block, s.cfg.Mesh)
-		s.moved = s.moved[:0]
-		s.moved = v.soa.SplitRetain(func(i int) bool {
-			cx, cy := s.cfg.Mesh.CellOf(v.soa.X[i], v.soa.Y[i])
-			return s.vg.OwnerOfCell(cx, cy) == v.id
-		}, s.moved)
-		if len(s.moved) > 0 {
-			s.outbound = append(s.outbound, routeToVPs(s.cfg.Mesh, s.vg, s.moved)...)
-		}
-	})
+	cols := s.shards.next(s.rt.NumVPs())
+	s.cur = cols
+	for _, id := range s.rt.LocalIDs() {
+		v := s.rt.Local(id).(*picVP)
+		s.pool.MoveClassify(v.soa, v.block, s.cfg.Mesh, s.vot, int32(v.id), &s.lv)
+		v.soa.ScatterRemove(&s.lv, cols)
+	}
 }
 
-// Exchange implements Substrate: parcels are grouped by hosting core into
-// double-buffered buckets and delivered to their destination VPs.
+// Exchange implements Substrate: the non-empty VP shards of the current
+// generation are grouped into per-hosting-core parcel lists (ascending VP
+// order — deterministic) and moved by pointer; arrivals append column-wise
+// to their destination VPs. Lists are double-buffered for the same reason
+// the shards are.
 func (s *vpSubstrate) Exchange(rec *trace.Recorder) error {
 	start := time.Now()
-	buckets := s.buckets.next(s.c.Size())
-	for _, parcel := range s.outbound {
-		dst := s.rt.Location(parcel.VP)
-		buckets[dst] = append(buckets[dst], parcel)
+	p, me := s.c.Size(), s.c.Rank()
+	lists := s.lists[s.lgen]
+	if len(lists) != p {
+		lists = make([][]vpColParcel, p)
+		s.lists[s.lgen] = lists
 	}
-	s.outbound = s.outbound[:0]
-	for _, parcels := range comm.SparseExchange(s.c, buckets) {
-		for _, parcel := range parcels {
-			avp := s.rt.Local(parcel.VP)
+	s.lgen = 1 - s.lgen
+	for i := range lists {
+		lists[i] = lists[i][:0]
+	}
+	cols := s.cur
+	for vp := range cols {
+		sh := &cols[vp]
+		if sh.Len() == 0 {
+			continue
+		}
+		dst := s.rt.Location(vp)
+		lists[dst] = append(lists[dst], vpColParcel{VP: vp, Cols: sh})
+	}
+	if len(s.sendPtrs) != p {
+		s.sendPtrs = make([]*[]vpColParcel, p)
+		s.recvPtrs = make([]*[]vpColParcel, p)
+	}
+	for dst := range lists {
+		if dst == me || len(lists[dst]) == 0 {
+			s.sendPtrs[dst] = nil
+			continue
+		}
+		s.sendPtrs[dst] = &lists[dst]
+		for _, pc := range lists[dst] {
+			s.xbytes += pc.Cols.FramedBytes()
+		}
+	}
+	comm.ExchangePtr(s.c, s.sendPtrs, s.recvPtrs)
+	for src := 0; src < p; src++ {
+		var parcels []vpColParcel
+		if src == me {
+			parcels = lists[me] // self parcels transfer locally
+		} else if lp := s.recvPtrs[src]; lp != nil {
+			parcels = *lp
+		}
+		for _, pc := range parcels {
+			avp := s.rt.Local(pc.VP)
 			if avp == nil {
-				return fmt.Errorf("driver: parcel for VP %d arrived at core %d which does not host it", parcel.VP, s.c.Rank())
+				return fmt.Errorf("driver: parcel for VP %d arrived at core %d which does not host it", pc.VP, me)
 			}
-			avp.(*picVP).soa.AppendAll(parcel.Ps)
+			avp.(*picVP).soa.AppendColumns(pc.Cols)
 		}
 	}
 	rec.Add(trace.Exchange, time.Since(start))
@@ -215,10 +271,13 @@ func (s *vpSubstrate) ApplyEvents(es *eventState, step int) {
 	}
 }
 
-// Count implements Substrate.
+// Count implements Substrate. Written without closures (and against the
+// runtime's cached id list) so the per-step path stays allocation-free.
 func (s *vpSubstrate) Count() int {
 	n := 0
-	s.rt.ForEach(func(avp ampi.VP) { n += avp.(*picVP).soa.Len() })
+	for _, id := range s.rt.LocalIDs() {
+		n += s.rt.Local(id).(*picVP).soa.Len()
+	}
 	return n
 }
 
@@ -244,30 +303,31 @@ func (s *vpSubstrate) Execute(plan balance.Plan) (bool, error) {
 }
 
 // CheckOwnership implements Substrate: every particle must sit inside its
-// hosting VP's subdomain.
+// hosting VP's subdomain. Like Count, it avoids closures on the per-step
+// path.
 func (s *vpSubstrate) CheckOwnership(step int) error {
-	var err error
-	s.rt.ForEach(func(avp ampi.VP) {
-		if err != nil {
-			return
-		}
-		v := avp.(*picVP)
+	mesh := s.cfg.Mesh
+	for _, id := range s.rt.LocalIDs() {
+		v := s.rt.Local(id).(*picVP)
+		self := int32(v.id)
 		for i := 0; i < v.soa.Len(); i++ {
-			cx, cy := s.cfg.Mesh.CellOf(v.soa.X[i], v.soa.Y[i])
-			if s.vg.OwnerOfCell(cx, cy) != v.id {
-				err = fmt.Errorf("driver: step %d: particle %d at cell (%d,%d) not owned by VP %d", step, v.soa.Meta[i].ID, cx, cy, v.id)
-				return
+			cx, cy := mesh.CellOf(v.soa.X[i], v.soa.Y[i])
+			if s.vot.Owner(cx, cy) != self {
+				return fmt.Errorf("driver: step %d: particle %d at cell (%d,%d) not owned by VP %d", step, v.soa.Meta[i].ID, cx, cy, v.id)
 			}
 		}
-	})
-	return err
+	}
+	return nil
 }
 
-// Particles implements Substrate.
+// Particles implements Substrate. The returned slice is scratch, valid
+// until the next Particles call.
 func (s *vpSubstrate) Particles() []particle.Particle {
-	var ps []particle.Particle
-	s.rt.ForEach(func(avp ampi.VP) { ps = append(ps, avp.(*picVP).soa.Particles()...) })
-	return ps
+	s.psScratch = s.psScratch[:0]
+	for _, id := range s.rt.LocalIDs() {
+		s.psScratch = s.rt.Local(id).(*picVP).soa.AppendParticles(s.psScratch)
+	}
+	return s.psScratch
 }
 
 // MigrationStats implements Substrate.
@@ -275,22 +335,8 @@ func (s *vpSubstrate) MigrationStats() (int, int64) {
 	return s.rt.Stats.VPsSent + s.rt.Stats.VPsReceived, s.rt.Stats.BytesSent
 }
 
+// ExchangeBytes implements Substrate.
+func (s *vpSubstrate) ExchangeBytes() int64 { return s.xbytes }
+
 // Close implements Substrate.
 func (s *vpSubstrate) Close() { s.pool.Close() }
-
-// routeToVPs groups leaver particles by destination VP in ascending VP
-// order (deterministic parcel order).
-func routeToVPs(m grid.Mesh, vg *decomp.Grid2D, leaving []particle.Particle) []vpParcel {
-	byVP := map[int][]particle.Particle{}
-	for i := range leaving {
-		cx, cy := m.CellOf(leaving[i].X, leaving[i].Y)
-		dst := vg.OwnerOfCell(cx, cy)
-		byVP[dst] = append(byVP[dst], leaving[i])
-	}
-	out := make([]vpParcel, 0, len(byVP))
-	for vp := range byVP {
-		out = append(out, vpParcel{VP: vp, Ps: byVP[vp]})
-	}
-	sort.Slice(out, func(a, b int) bool { return out[a].VP < out[b].VP })
-	return out
-}

@@ -24,9 +24,11 @@ type StepStat struct {
 	// Load summarizes the per-rank particle counts; Load.Imbalance is the
 	// paper's max-over-mean metric at this step.
 	Load stats.Summary
-	// Migrations and Bytes sum the LB movement over ranks this step.
-	Migrations int
-	Bytes      int64
+	// Migrations and Bytes sum the LB movement over ranks this step;
+	// ExchangeBytes sums the particle-exchange payload over ranks.
+	Migrations    int
+	Bytes         int64
+	ExchangeBytes int64
 	// Decision is the balancer decision executed this step, if any.
 	Decision string
 }
@@ -54,6 +56,7 @@ func (tl *Timeline) StepStats() []StepStat {
 			loads = append(loads, float64(s.Particles))
 			st.Migrations += s.Migrations
 			st.Bytes += s.Bytes
+			st.ExchangeBytes += s.ExchangeBytes
 			if st.Decision == "" {
 				st.Decision = s.Decision
 			}

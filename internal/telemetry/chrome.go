@@ -94,6 +94,11 @@ func WriteChromeTrace(w io.Writer, tl *Timeline) error {
 				PID: chromePID, TS: usec(clock),
 				Args: map[string]any{"particles": s.Particles},
 			})
+			events = append(events, chromeEvent{
+				Name: fmt.Sprintf("exchange bytes rank %d", s.Rank), Ph: "C",
+				PID: chromePID, TS: usec(clock),
+				Args: map[string]any{"bytes": s.ExchangeBytes},
+			})
 			// Decisions are global (every rank computes the identical plan),
 			// so one instant event per step suffices.
 			if s.Decision != "" && s.Rank == tl.Samples[lo].Rank {

@@ -77,6 +77,21 @@ func TestReadJSONLRejectsDrift(t *testing.T) {
 	}
 }
 
+// TestReadJSONLAcceptsLegacyV1 pins backward compatibility: v2 only added
+// the optional exchange_bytes field, so v1 timelines must still parse, with
+// the field reading as zero.
+func TestReadJSONLAcceptsLegacyV1(t *testing.T) {
+	in := `{"schema":"picprk/timeline/v1","impl":"x","ranks":1,"steps":1}` + "\n" +
+		`{"step":1,"rank":0,"phase_ns":{"compute":5},"particles":1}` + "\n"
+	tl, err := ReadJSONL(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("v1 timeline rejected: %v", err)
+	}
+	if len(tl.Samples) != 1 || tl.Samples[0].ExchangeBytes != 0 {
+		t.Errorf("legacy sample parsed wrong: %+v", tl.Samples)
+	}
+}
+
 func TestChromeTraceGolden(t *testing.T) {
 	var buf bytes.Buffer
 	if err := WriteChromeTrace(&buf, fixtureTimeline()); err != nil {
@@ -125,8 +140,9 @@ func TestChromeTraceValid(t *testing.T) {
 		}
 	}
 	// One duration event per nonzero phase, one instant per decision step,
-	// metadata for the process and both rank threads, counters per sample.
-	if counts["X"] == 0 || counts["M"] != 3 || counts["i"] != 1 || counts["C"] != 6 {
+	// metadata for the process and both rank threads, two counters per
+	// sample (particles and exchange bytes).
+	if counts["X"] == 0 || counts["M"] != 3 || counts["i"] != 1 || counts["C"] != 12 {
 		t.Errorf("event mix %v", counts)
 	}
 }

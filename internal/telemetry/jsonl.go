@@ -12,8 +12,13 @@ import (
 
 // Schema identifies the timeline wire format. Readers reject any other
 // value, so an incompatible change must bump the version — the CI
-// round-trip job fails on silent drift.
-const Schema = "picprk/timeline/v1"
+// round-trip job fails on silent drift. v2 added the per-step
+// exchange_bytes field; v1 files are still readable (the field reads as 0).
+const Schema = "picprk/timeline/v2"
+
+// legacySchema is the previous wire format, accepted on read: v2 only added
+// an optional field, so v1 files parse unchanged.
+const legacySchema = "picprk/timeline/v1"
 
 // metaJSON is the first line of a timeline file.
 type metaJSON struct {
@@ -34,6 +39,7 @@ type sampleJSON struct {
 	Particles  int              `json:"particles"`
 	Migrations int              `json:"migrations,omitempty"`
 	Bytes      int64            `json:"bytes,omitempty"`
+	XBytes     int64            `json:"exchange_bytes,omitempty"`
 	Decision   string           `json:"decision,omitempty"`
 }
 
@@ -55,6 +61,7 @@ func WriteJSONL(w io.Writer, tl *Timeline) error {
 			Particles:  s.Particles,
 			Migrations: s.Migrations,
 			Bytes:      s.Bytes,
+			XBytes:     s.ExchangeBytes,
 			Decision:   s.Decision,
 		}
 		for _, p := range trace.Phases() {
@@ -86,7 +93,7 @@ func ReadJSONL(r io.Reader) (*Timeline, error) {
 	if err := json.Unmarshal(sc.Bytes(), &meta); err != nil {
 		return nil, fmt.Errorf("telemetry: bad meta line: %w", err)
 	}
-	if meta.Schema != Schema {
+	if meta.Schema != Schema && meta.Schema != legacySchema {
 		return nil, fmt.Errorf("telemetry: schema %q, this reader understands %q", meta.Schema, Schema)
 	}
 	tl := &Timeline{Name: meta.Impl, P: meta.Ranks, Steps: meta.Steps, Dropped: meta.Dropped}
@@ -99,12 +106,13 @@ func ReadJSONL(r io.Reader) (*Timeline, error) {
 			return nil, fmt.Errorf("telemetry: line %d: %w", line, err)
 		}
 		s := Sample{
-			Step:       sj.Step,
-			Rank:       sj.Rank,
-			Particles:  sj.Particles,
-			Migrations: sj.Migrations,
-			Bytes:      sj.Bytes,
-			Decision:   sj.Decision,
+			Step:          sj.Step,
+			Rank:          sj.Rank,
+			Particles:     sj.Particles,
+			Migrations:    sj.Migrations,
+			Bytes:         sj.Bytes,
+			ExchangeBytes: sj.XBytes,
+			Decision:      sj.Decision,
 		}
 		for name, ns := range sj.PhaseNS {
 			p, ok := byName[name]

@@ -22,6 +22,7 @@ type Live struct {
 	particles  []atomic.Int64
 	migrations []atomic.Int64
 	bytes      []atomic.Int64
+	xbytes     []atomic.Int64
 }
 
 // NewLive returns a Live aggregate for the given rank count.
@@ -35,6 +36,7 @@ func NewLive(ranks int) *Live {
 		particles:  make([]atomic.Int64, ranks),
 		migrations: make([]atomic.Int64, ranks),
 		bytes:      make([]atomic.Int64, ranks),
+		xbytes:     make([]atomic.Int64, ranks),
 	}
 }
 
@@ -52,6 +54,7 @@ func (l *Live) Observe(s Sample) {
 	l.particles[s.Rank].Store(int64(s.Particles))
 	l.migrations[s.Rank].Add(int64(s.Migrations))
 	l.bytes[s.Rank].Add(s.Bytes)
+	l.xbytes[s.Rank].Add(s.ExchangeBytes)
 }
 
 // WritePrometheus renders the aggregate in the Prometheus text exposition
@@ -86,6 +89,11 @@ func (l *Live) WritePrometheus(w io.Writer) {
 	fmt.Fprintf(w, "# HELP picprk_migrated_bytes_total LB payload bytes sent per rank.\n# TYPE picprk_migrated_bytes_total counter\n")
 	for rank := 0; rank < l.ranks; rank++ {
 		fmt.Fprintf(w, "picprk_migrated_bytes_total{rank=\"%d\"} %d\n", rank, l.bytes[rank].Load())
+	}
+
+	fmt.Fprintf(w, "# HELP picprk_exchange_bytes_total Particle-exchange payload bytes sent per rank (framed columnar wire size).\n# TYPE picprk_exchange_bytes_total counter\n")
+	for rank := 0; rank < l.ranks; rank++ {
+		fmt.Fprintf(w, "picprk_exchange_bytes_total{rank=\"%d\"} %d\n", rank, l.xbytes[rank].Load())
 	}
 
 	sum := stats.Summarize(loads)

@@ -40,6 +40,10 @@ type Sample struct {
 	Migrations int
 	// Bytes is the LB payload bytes this rank sent this step (delta).
 	Bytes int64
+	// ExchangeBytes is the particle-exchange payload bytes this rank sent
+	// this step (delta), measured as the columnar path's framed wire size
+	// (core.Columns.FramedBytes), not a per-particle serialization estimate.
+	ExchangeBytes int64
 	// Decision is the balancer's history line when a plan executed this
 	// step, empty otherwise. Plans are identical on every rank, so readers
 	// normally take rank 0's.
