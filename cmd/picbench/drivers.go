@@ -53,6 +53,7 @@ type driverBenchReport struct {
 	GoMaxProcs int                 `json:"gomaxprocs"`
 	Ranks      int                 `json:"ranks"`
 	Workers    int                 `json:"workers"`
+	Transport  string              `json:"transport,omitempty"`
 	L          int                 `json:"l"`
 	N          int                 `json:"n"`
 	Steps      int                 `json:"steps"`
@@ -61,7 +62,7 @@ type driverBenchReport struct {
 
 // driverBenchConfig mirrors benchConfig in the root package's bench_test.go
 // so the JSON numbers and `go test -bench Driver` measure the same workload.
-func driverBenchConfig(workers int) (driver.Config, error) {
+func driverBenchConfig(workers int, transport string) (driver.Config, error) {
 	mesh, err := grid.NewMesh(64, grid.DefaultCharge)
 	if err != nil {
 		return driver.Config{}, err
@@ -69,7 +70,7 @@ func driverBenchConfig(workers int) (driver.Config, error) {
 	return driver.Config{
 		Mesh: mesh, N: 20000, Steps: 50,
 		Dist: dist.Geometric{R: 0.92}, Seed: 5,
-		Workers: workers,
+		Workers: workers, Transport: transport,
 	}, nil
 }
 
@@ -77,8 +78,8 @@ func driverBenchConfig(workers int) (driver.Config, error) {
 // path. When timelineDir is non-empty, each driver additionally does one
 // telemetry-enabled run (outside the timed loop, so sampling cannot skew
 // ns/op or allocs/op) and writes TIMELINE_<driver>.jsonl there.
-func runDriverBench(ranks, workers int, path, timelineDir string) error {
-	cfg, err := driverBenchConfig(workers)
+func runDriverBench(ranks, workers int, transport, path, timelineDir string) error {
+	cfg, err := driverBenchConfig(workers, transport)
 	if err != nil {
 		return err
 	}
@@ -105,6 +106,7 @@ func runDriverBench(ranks, workers int, path, timelineDir string) error {
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		Ranks:      ranks,
 		Workers:    workers,
+		Transport:  transport,
 		L:          cfg.Mesh.L,
 		N:          cfg.N,
 		Steps:      cfg.Steps,

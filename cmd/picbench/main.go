@@ -23,26 +23,42 @@ import (
 	"runtime/pprof"
 	"time"
 
+	"github.com/parres/picprk/internal/driver"
 	"github.com/parres/picprk/internal/model"
 	"github.com/parres/picprk/internal/sweep"
 )
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "figure to regenerate: 5 | 6l | 6r | 7 | ws | all")
-		quick   = flag.Bool("quick", false, "reduced problem sizes")
-		plot    = flag.Bool("plot", false, "also draw ASCII log-scale charts")
-		machine = flag.String("machine", "edison", "machine model: edison | fatnode")
-		drivers = flag.Bool("drivers", false, "benchmark the real goroutine drivers and write a JSON report")
-		diff    = flag.Bool("benchdiff", false, "compare two driver reports (args: baseline.json new.json); warn-only, always exits 0 on readable input")
-		out     = flag.String("o", "BENCH_driver.json", "drivers: output path for the JSON report")
-		tlDir   = flag.String("timelines", "", "drivers: also write TIMELINE_<driver>.jsonl telemetry to this directory (one extra untimed run each)")
-		ranks   = flag.Int("p", 4, "drivers: number of ranks")
-		workers = flag.Int("workers", 0, "drivers: move workers per rank (0 = GOMAXPROCS/p, min 1)")
-		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		fig       = flag.String("fig", "all", "figure to regenerate: 5 | 6l | 6r | 7 | ws | all")
+		quick     = flag.Bool("quick", false, "reduced problem sizes")
+		plot      = flag.Bool("plot", false, "also draw ASCII log-scale charts")
+		machine   = flag.String("machine", "edison", "machine model: edison | fatnode")
+		drivers   = flag.Bool("drivers", false, "benchmark the real goroutine drivers and write a JSON report")
+		diff      = flag.Bool("benchdiff", false, "compare two driver reports (args: baseline.json new.json); warn-only, always exits 0 on readable input")
+		out       = flag.String("o", "BENCH_driver.json", "drivers: output path for the JSON report")
+		tlDir     = flag.String("timelines", "", "drivers: also write TIMELINE_<driver>.jsonl telemetry to this directory (one extra untimed run each)")
+		ranks     = flag.Int("p", 4, "drivers: number of ranks")
+		workers   = flag.Int("workers", 0, "drivers: move workers per rank (0 = GOMAXPROCS/p, min 1)")
+		transport = flag.String("transport", driver.TransportInproc, "drivers: comm substrate: inproc | tcp | unix (loopback sockets, one wire node per rank)")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
+	flag.IntVar(ranks, "ranks", 4, "alias for -p")
 	flag.Parse()
+
+	if *ranks <= 0 {
+		fatal(fmt.Errorf("-ranks must be positive, got %d", *ranks))
+	}
+	if *workers < 0 {
+		fatal(fmt.Errorf("-workers must be positive or 0 for automatic, got %d", *workers))
+	}
+	switch *transport {
+	case driver.TransportInproc, driver.TransportTCP, driver.TransportUnix:
+	default:
+		fatal(fmt.Errorf("unknown -transport %q (want %s, %s or %s)",
+			*transport, driver.TransportInproc, driver.TransportTCP, driver.TransportUnix))
+	}
 
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
@@ -80,7 +96,7 @@ func main() {
 	}
 
 	if *drivers {
-		if err := runDriverBench(*ranks, *workers, *out, *tlDir); err != nil {
+		if err := runDriverBench(*ranks, *workers, *transport, *out, *tlDir); err != nil {
 			fatal(err)
 		}
 		return

@@ -37,6 +37,9 @@ type obsOpts struct {
 	timeline, chrome string
 	// balanceLog dumps the executed balancing decisions after the run.
 	balanceLog bool
+	// dumpState writes the final particle state (float bits in hex) and the
+	// balance log to this path, for bitwise run-to-run comparison.
+	dumpState string
 }
 
 func (o obsOpts) sampling() bool { return o.timeline != "" || o.chrome != "" }
@@ -68,8 +71,65 @@ func main() {
 		chrome    = flag.String("chrometrace", "", "write the timeline as Chrome trace-event JSON (chrome://tracing, Perfetto) to this file")
 		httpAddr  = flag.String("http", "", "serve /metrics, /debug/vars, and /debug/pprof on this address during the run (e.g. :6060)")
 		balLog    = flag.Bool("balancelog", false, "print one line per executed load-balancing decision after the run")
+		transport = flag.String("transport", driver.TransportInproc, "comm substrate: inproc (goroutine ranks) | tcp | unix (one process per rank)")
+		join      = flag.String("join", "", "worker mode: join the rendezvous at this address instead of coordinating a run")
+		listen    = flag.String("listen", "", "coordinator: rendezvous listen address (default: an ephemeral loopback address; set host:port to accept remote -join workers)")
+		spawn     = flag.Int("spawn", -1, "coordinator: worker processes to fork locally (-1 = one per non-coordinator rank; fewer leaves slots for remote -join workers)")
+		dumpState = flag.String("dumpstate", "", "write the verified final state (float bits in hex) and balance log to this file")
 	)
+	flag.IntVar(p, "ranks", 4, "alias for -p")
 	flag.Parse()
+
+	opts := runOptions{
+		impl: *impl, ranks: *p, steps: *steps, n: *n, workers: *workers,
+		transport: *transport, join: *join, spawn: *spawn,
+	}
+	if err := validateOptions(opts); err != nil {
+		fatal(err)
+	}
+
+	mesh, err := grid.NewMesh(*L, grid.DefaultCharge)
+	if err != nil {
+		fatal(err)
+	}
+	var d0 dist.Distribution
+	switch *distName {
+	case "geometric":
+		d0 = dist.Geometric{R: *r}
+	case "sinusoidal":
+		d0 = dist.Sinusoidal{}
+	case "linear":
+		d0 = dist.Linear{Alpha: 1, Beta: 2}
+	case "patch":
+		d0 = dist.Patch{X0: 0, X1: *L / 4, Y0: 0, Y1: *L / 4}
+	case "uniform":
+		d0 = dist.Uniform{}
+	default:
+		fatal(fmt.Errorf("unknown distribution %q", *distName))
+	}
+
+	implCfg := implOptions{
+		every: *every, width: *width, threshold: *threshold,
+		d: *d, interval: *interval, strategy: *strategy, stealTh: *stealTh,
+	}
+
+	// Worker mode: build the identical engine from the identical flags, join
+	// the coordinator's rendezvous, run the assigned rank, and exit. All
+	// reporting and observability stays with the coordinator (rank 0).
+	if *join != "" {
+		cfg := driver.Config{
+			Mesh: mesh, N: *n, K: *k, M: *mVert,
+			Dist: d0, Seed: *seed, Steps: *steps, Verify: *verify,
+			Workers: *workers, Telemetry: *timeline != "" || *chrome != "",
+			Transport: *transport,
+		}
+		eng, err := makeEngine(*impl, *p, cfg, implCfg)
+		if err != nil {
+			fatal(err)
+		}
+		runWorker(eng, opts)
+		return
+	}
 
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
@@ -95,26 +155,7 @@ func main() {
 		}()
 	}
 
-	mesh, err := grid.NewMesh(*L, grid.DefaultCharge)
-	if err != nil {
-		fatal(err)
-	}
-	var d0 dist.Distribution
-	switch *distName {
-	case "geometric":
-		d0 = dist.Geometric{R: *r}
-	case "sinusoidal":
-		d0 = dist.Sinusoidal{}
-	case "linear":
-		d0 = dist.Linear{Alpha: 1, Beta: 2}
-	case "patch":
-		d0 = dist.Patch{X0: 0, X1: *L / 4, Y0: 0, Y1: *L / 4}
-	case "uniform":
-		d0 = dist.Uniform{}
-	default:
-		fatal(fmt.Errorf("unknown distribution %q", *distName))
-	}
-	obs := obsOpts{timeline: *timeline, chrome: *chrome, balanceLog: *balLog}
+	obs := obsOpts{timeline: *timeline, chrome: *chrome, balanceLog: *balLog, dumpState: *dumpState}
 	var live *telemetry.Live
 	if *httpAddr != "" {
 		ranks := *p
@@ -135,20 +176,51 @@ func main() {
 		Dist: d0, Seed: *seed, Steps: *steps, Verify: *verify,
 		Workers:   *workers,
 		Telemetry: obs.sampling(), Live: live,
+		Transport: *transport,
 	}
 
-	report := func(res *driver.Result, err error) { reportParallel(res, err, obs) }
-	switch *impl {
-	case "serial":
+	if *impl == "serial" {
 		runSerial(cfg, obs, live)
+		return
+	}
+	eng, err := makeEngine(*impl, *p, cfg, implCfg)
+	if err != nil {
+		fatal(err)
+	}
+	report := func(res *driver.Result, err error) { reportParallel(res, err, obs) }
+	if *transport != driver.TransportInproc {
+		// Multi-process: rendezvous + forked single-rank workers, this
+		// process hosting rank 0.
+		runCoordinator(eng, opts, *listen, report)
+		return
+	}
+	report(eng.Run(*p))
+}
+
+// implOptions carries the implementation-specific tuning flags.
+type implOptions struct {
+	every     int
+	width     int
+	threshold float64
+	d         int
+	interval  int
+	strategy  string
+	stealTh   float64
+}
+
+// makeEngine builds the named parallel engine. The same construction serves
+// the in-process run, the multi-process coordinator, and -join workers, so
+// every process derives the identical engine from the identical flags.
+func makeEngine(impl string, p int, cfg driver.Config, o implOptions) (*driver.Engine, error) {
+	switch impl {
 	case "baseline":
-		report(driver.RunBaseline(*p, cfg))
+		return driver.NewBaselineEngine(cfg), nil
 	case "diffusion":
-		params := diffusion.Params{Every: *every, Threshold: *threshold, Width: *width, MinWidth: *width + 1}
-		report(driver.RunDiffusion(*p, cfg, params))
+		params := diffusion.Params{Every: o.every, Threshold: o.threshold, Width: o.width, MinWidth: o.width + 1}
+		return driver.NewDiffusionEngine(cfg, params)
 	case "ampi":
 		var s ampi.Strategy
-		switch *strategy {
+		switch o.strategy {
 		case "refine":
 			s = ampi.RefineLB{}
 		case "greedy":
@@ -162,13 +234,13 @@ func main() {
 		case "null":
 			s = ampi.NullLB{}
 		default:
-			fatal(fmt.Errorf("unknown strategy %q", *strategy))
+			return nil, fmt.Errorf("unknown strategy %q", o.strategy)
 		}
-		report(driver.RunAMPI(*p, cfg, driver.AMPIParams{Overdecompose: *d, Every: *interval, Strategy: s}))
+		return driver.NewAMPIEngine(p, cfg, driver.AMPIParams{Overdecompose: o.d, Every: o.interval, Strategy: s})
 	case "worksteal":
-		report(driver.RunWorkSteal(*p, cfg, driver.WorkStealParams{Overdecompose: *d, Every: *interval, Threshold: *stealTh}))
+		return driver.NewWorkStealEngine(cfg, driver.WorkStealParams{Overdecompose: o.d, Every: o.interval, Threshold: o.stealTh})
 	default:
-		fatal(fmt.Errorf("unknown implementation %q", *impl))
+		return nil, fmt.Errorf("unknown implementation %q", impl)
 	}
 }
 
@@ -279,6 +351,12 @@ func reportParallel(res *driver.Result, err error, obs obsOpts) {
 		}
 	}
 	writeObservability(res.Timeline, obs)
+	if obs.dumpState != "" {
+		if err := writeState(obs.dumpState, res); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("state dump: wrote %d particles to %s\n", len(res.Particles), obs.dumpState)
+	}
 	if res.Verified {
 		fmt.Println("verification: PASSED (closed-form positions + ID checksum)")
 	}

@@ -1,0 +1,135 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestMain lets this test binary act as picrun itself when re-executed with
+// PICRUN_BE_MAIN=1 — the coordinator's forked workers (os.Executable) then
+// run main() too, so the multi-process path is tested end to end without a
+// separately built binary.
+func TestMain(m *testing.M) {
+	if os.Getenv("PICRUN_BE_MAIN") == "1" {
+		main()
+		return
+	}
+	os.Exit(m.Run())
+}
+
+func TestValidateOptions(t *testing.T) {
+	ok := runOptions{impl: "baseline", ranks: 4, steps: 10, n: 100, transport: "inproc"}
+	if err := validateOptions(ok); err != nil {
+		t.Fatalf("valid options rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		mut  func(o *runOptions)
+		want string
+	}{
+		{"zero ranks", func(o *runOptions) { o.ranks = 0 }, "-ranks"},
+		{"negative ranks", func(o *runOptions) { o.ranks = -2 }, "-ranks"},
+		{"zero steps", func(o *runOptions) { o.steps = 0 }, "-steps"},
+		{"negative steps", func(o *runOptions) { o.steps = -1 }, "-steps"},
+		{"zero particles", func(o *runOptions) { o.n = 0 }, "-n"},
+		{"negative workers", func(o *runOptions) { o.workers = -1 }, "-workers"},
+		{"bogus transport", func(o *runOptions) { o.transport = "osmosis" }, "-transport"},
+		{"join without wire", func(o *runOptions) { o.join = "127.0.0.1:9" }, "-join"},
+		{"spawn without wire", func(o *runOptions) { o.spawn = 2 }, "-spawn"},
+		{"spawn beyond ranks", func(o *runOptions) { o.transport = "tcp"; o.spawn = 4 }, "-spawn"},
+		{"serial with transport", func(o *runOptions) { o.impl = "serial"; o.transport = "tcp" }, "serial"},
+	}
+	for _, tc := range cases {
+		o := ok
+		tc.mut(&o)
+		err := validateOptions(o)
+		if err == nil {
+			t.Fatalf("%s: accepted", tc.name)
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// runPicrun re-executes this test binary as picrun and returns its output.
+func runPicrun(t *testing.T, args ...string) string {
+	t.Helper()
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(exe, args...)
+	cmd.Env = append(os.Environ(), "PICRUN_BE_MAIN=1")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("picrun %v: %v\n%s", args, err, out)
+	}
+	return string(out)
+}
+
+// TestMultiProcessBitwiseIdentity is the end-to-end acceptance check for
+// picrun's multi-process mode: a forked-worker TCP run must dump the exact
+// final state and balance log of the in-process run.
+func TestMultiProcessBitwiseIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("forks a process tree")
+	}
+	dir := t.TempDir()
+	tcpState := filepath.Join(dir, "tcp.txt")
+	inState := filepath.Join(dir, "inproc.txt")
+	common := []string{
+		"-impl=diffusion", "-ranks=3", "-L=16", "-n=3000", "-steps=30",
+		"-r=0.9", "-every=5", "-seed=7",
+	}
+	out := runPicrun(t, append(common, "-transport=tcp", "-dumpstate="+tcpState)...)
+	if !strings.Contains(out, "verification: PASSED") {
+		t.Fatalf("tcp run did not verify:\n%s", out)
+	}
+	runPicrun(t, append(common, "-dumpstate="+inState)...)
+	a, err := os.ReadFile(tcpState)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(inState)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) == 0 {
+		t.Fatal("empty state dump")
+	}
+	if string(a) != string(b) {
+		t.Fatal("multi-process state dump differs from the in-process run")
+	}
+}
+
+// TestCLIRejectsBadFlags: the validation must act before any fork or
+// listener, with a non-zero exit and a clear message.
+func TestCLIRejectsBadFlags(t *testing.T) {
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		args []string
+		want string
+	}{
+		{[]string{"-impl=baseline", "-ranks=0"}, "-ranks"},
+		{[]string{"-impl=baseline", "-steps=-5"}, "-steps"},
+		{[]string{"-impl=baseline", "-transport=pigeon"}, "-transport"},
+		{[]string{"-impl=baseline", "-workers=-1"}, "-workers"},
+	} {
+		cmd := exec.Command(exe, tc.args...)
+		cmd.Env = append(os.Environ(), "PICRUN_BE_MAIN=1")
+		out, err := cmd.CombinedOutput()
+		if err == nil {
+			t.Fatalf("picrun %v exited 0:\n%s", tc.args, out)
+		}
+		if !strings.Contains(string(out), tc.want) {
+			t.Fatalf("picrun %v error does not mention %q:\n%s", tc.args, tc.want, out)
+		}
+	}
+}

@@ -1,0 +1,210 @@
+package main
+
+// Multi-process mode: with -transport tcp|unix, picrun runs each rank in
+// its own OS process, connected by the wire transport in internal/comm/wire.
+// The coordinator (the picrun the user invoked) starts a rendezvous
+// listener, forks one worker process per remaining rank — re-executing
+// itself with -join <addr> — and hosts world rank 0, so results are
+// reported exactly as in the in-process mode. Remote workers can be
+// attached by hand: start the coordinator with -spawn 0 -listen host:port
+// and run `picrun <same flags> -join host:port` elsewhere.
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"os/exec"
+	"strings"
+
+	"github.com/parres/picprk/internal/comm"
+	"github.com/parres/picprk/internal/comm/wire"
+	"github.com/parres/picprk/internal/driver"
+)
+
+// runOptions is the subset of flags the run-mode logic needs, separated
+// from main's flag block so validation is unit-testable.
+type runOptions struct {
+	impl      string
+	ranks     int
+	steps     int
+	n         int
+	workers   int
+	transport string
+	join      string
+	spawn     int
+}
+
+// validateOptions rejects malformed run shapes with actionable errors
+// before any listener is opened or process forked.
+func validateOptions(o runOptions) error {
+	if o.ranks <= 0 {
+		return fmt.Errorf("-ranks must be positive, got %d", o.ranks)
+	}
+	if o.steps <= 0 {
+		return fmt.Errorf("-steps must be positive, got %d", o.steps)
+	}
+	if o.n <= 0 {
+		return fmt.Errorf("-n must be positive, got %d", o.n)
+	}
+	if o.workers < 0 {
+		return fmt.Errorf("-workers must be positive or 0 for automatic, got %d", o.workers)
+	}
+	switch o.transport {
+	case driver.TransportInproc, driver.TransportTCP, driver.TransportUnix:
+	default:
+		return fmt.Errorf("unknown -transport %q (want %s, %s or %s)",
+			o.transport, driver.TransportInproc, driver.TransportTCP, driver.TransportUnix)
+	}
+	if o.transport == driver.TransportInproc {
+		if o.join != "" {
+			return fmt.Errorf("-join needs a wire transport: add -transport tcp or -transport unix")
+		}
+		if o.spawn > 0 {
+			return fmt.Errorf("-spawn needs a wire transport: add -transport tcp or -transport unix")
+		}
+	}
+	if o.impl == "serial" && (o.transport != driver.TransportInproc || o.join != "") {
+		return fmt.Errorf("-impl serial runs in one process and has no transport")
+	}
+	if o.spawn >= 0 && o.spawn > o.ranks-1 {
+		return fmt.Errorf("-spawn %d exceeds the %d non-coordinator ranks", o.spawn, o.ranks-1)
+	}
+	return nil
+}
+
+// effectiveSpawn resolves -spawn: by default the coordinator forks every
+// non-coordinator rank locally; a smaller count leaves slots for workers
+// joining from elsewhere.
+func (o runOptions) effectiveSpawn() int {
+	if o.spawn >= 0 {
+		return o.spawn
+	}
+	return o.ranks - 1
+}
+
+// workerArgs rebuilds the command line for a forked worker: every flag the
+// user set, minus the coordinator-only ones, plus -join. Passing the flags
+// through (rather than a serialized config) keeps workers runnable by hand
+// on other hosts with the exact same invocation.
+func workerArgs(rendezvousAddr string) []string {
+	// Coordinator-only flags are withheld; -timeline/-chrometrace pass
+	// through because cfg.Telemetry must match on every rank (the timeline
+	// gather is collective) — workers record samples, only rank 0 writes.
+	skip := map[string]bool{
+		"join": true, "listen": true, "spawn": true,
+		"http": true, "cpuprofile": true, "memprofile": true,
+		"balancelog": true, "dumpstate": true,
+	}
+	var args []string
+	flag.Visit(func(f *flag.Flag) {
+		if !skip[f.Name] {
+			args = append(args, "-"+f.Name+"="+f.Value.String())
+		}
+	})
+	return append(args, "-join="+rendezvousAddr)
+}
+
+// runCoordinator executes a multi-process run from the user's picrun: start
+// the rendezvous, fork the local workers, host rank 0, report the result.
+func runCoordinator(eng *driver.Engine, o runOptions, listen string, report func(*driver.Result, error)) {
+	network := o.transport
+	if listen == "" {
+		listen = wire.DefaultAddr(network)
+	}
+	rv, err := wire.StartRendezvous(network, listen, o.ranks)
+	if err != nil {
+		fatal(err)
+	}
+	spawn := o.effectiveSpawn()
+	if spawn < o.ranks-1 {
+		fmt.Printf("rendezvous: %s %s — waiting for %d externally joined rank(s)\n",
+			network, rv.Addr(), o.ranks-1-spawn)
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		fatal(err)
+	}
+	procs := make([]*exec.Cmd, 0, spawn)
+	for i := 0; i < spawn; i++ {
+		cmd := exec.Command(exe, workerArgs(rv.Addr())...)
+		cmd.Stdout = os.Stdout
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			fatal(fmt.Errorf("forking worker %d: %w", i, err))
+		}
+		procs = append(procs, cmd)
+	}
+
+	node, err := wire.Join(network, rv.Addr(), wire.JoinOptions{Count: 1, WantBase: 0, Bind: bindFor(network, listen)})
+	if err != nil {
+		fatal(err)
+	}
+	if err := rv.Wait(); err != nil {
+		fatal(err)
+	}
+	w := comm.NewTransportWorld(node, eng.Cfg.WorldOptions())
+	res, runErr := eng.RunWorld(w)
+	for i, cmd := range procs {
+		if werr := cmd.Wait(); werr != nil && runErr == nil {
+			runErr = fmt.Errorf("worker %d: %w", i, werr)
+		}
+	}
+	report(res, runErr)
+}
+
+// bindFor picks the mesh-listener bind address for a node: loopback runs
+// can leave it empty (wire defaults apply); a coordinator listening on a
+// routable address advertises the same host for its mesh listener so remote
+// workers can dial back.
+func bindFor(network, listen string) string {
+	if network != driver.TransportTCP {
+		return ""
+	}
+	host, _, ok := strings.Cut(listen, ":")
+	if !ok || host == "" || host == "127.0.0.1" || host == "localhost" {
+		return ""
+	}
+	return host + ":0"
+}
+
+// runWorker executes the worker side of a multi-process run: join the
+// coordinator's rendezvous, host the assigned rank, and exit. Results are
+// reported by the process hosting rank 0, so a worker is silent on success.
+func runWorker(eng *driver.Engine, o runOptions) {
+	node, err := wire.Join(o.transport, o.join, wire.JoinOptions{Count: 1, WantBase: -1})
+	if err != nil {
+		fatal(err)
+	}
+	w := comm.NewTransportWorld(node, eng.Cfg.WorldOptions())
+	if _, err := eng.RunWorld(w); err != nil {
+		fatal(err)
+	}
+}
+
+// writeState dumps the verified global final state and the balance log in a
+// deterministic text form — float bits in hex, one particle per line — so
+// two runs can be compared for bitwise identity with a file diff. Requires
+// -verify (the gather that assembles the global state).
+func writeState(path string, res *driver.Result) error {
+	if res.Particles == nil {
+		return fmt.Errorf("-dumpstate needs -verify=true (the gathered state)")
+	}
+	return writeFileWith(path, func(f *os.File) error {
+		for i := range res.Particles {
+			p := &res.Particles[i]
+			if _, err := fmt.Fprintf(f, "%d %016x %016x %016x %016x %016x %016x %016x %d %d %d %d\n",
+				p.ID, math.Float64bits(p.X), math.Float64bits(p.Y),
+				math.Float64bits(p.VX), math.Float64bits(p.VY), math.Float64bits(p.Q),
+				math.Float64bits(p.X0), math.Float64bits(p.Y0), p.K, p.M, p.Dir, p.Born); err != nil {
+				return err
+			}
+		}
+		for _, line := range res.BalanceLog {
+			if _, err := fmt.Fprintf(f, "balance %s\n", line); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}

@@ -1,0 +1,27 @@
+package comm
+
+import "github.com/parres/picprk/internal/pup"
+
+// splitKey is the (color, key, parent-rank) record Split allgathers to
+// agree on subcommunicator membership. Package-scoped (rather than local to
+// Split) so it can cross a wire transport.
+type splitKey struct{ Color, Key, Rank int }
+
+// Wire kinds for comm's own payloads (range 20–29, see pup.Kind).
+const (
+	kindSplitKey  pup.Kind = 20
+	kindSplitKeys pup.Kind = 21
+)
+
+func pupSplitKey(p *pup.PUPer, v *splitKey) {
+	p.Int(&v.Color)
+	p.Int(&v.Key)
+	p.Int(&v.Rank)
+}
+
+func init() {
+	pup.RegisterCodec[splitKey](kindSplitKey, pupSplitKey)
+	pup.RegisterCodec[[]splitKey](kindSplitKeys, func(p *pup.PUPer, v *[]splitKey) {
+		pup.Slice(p, v, pupSplitKey)
+	})
+}

@@ -212,13 +212,12 @@ func SparseExchange[T any](c *Comm, buckets [][]T) [][]T {
 // call Split; a negative color yields a nil communicator (like
 // MPI_COMM_NULL with MPI_UNDEFINED).
 func (c *Comm) Split(color, key int) *Comm {
-	type ck struct{ Color, Key, Rank int }
-	all := Allgather(c, ck{color, key, c.rank})
+	all := Allgather(c, splitKey{color, key, c.rank})
 	c.splits++
 	if color < 0 {
 		return nil
 	}
-	var members []ck
+	var members []splitKey
 	for _, e := range all {
 		if e.Color == color {
 			members = append(members, e)

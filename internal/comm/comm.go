@@ -1,9 +1,15 @@
-// Package comm is a message-passing runtime in the spirit of MPI, built on
-// goroutines and in-process mailboxes. Each rank runs as a goroutine; ranks
-// exchange two-sided messages matched on (communicator, source, tag) with
-// wildcard-source receives, and the package layers collectives (barrier,
-// broadcast, reduce, allreduce, gather, allgather, sparse all-to-all),
-// communicator splitting, and Cartesian topologies on top.
+// Package comm is a message-passing runtime in the spirit of MPI. Each rank
+// runs as a goroutine; ranks exchange two-sided messages matched on
+// (communicator, source, tag) with wildcard-source receives, and the package
+// layers collectives (barrier, broadcast, reduce, allreduce, gather,
+// allgather, sparse all-to-all), communicator splitting, and Cartesian
+// topologies on top.
+//
+// Message movement is delegated to a Transport (see transport.go). The
+// default is the in-process substrate — every rank a goroutine in one
+// address space, payloads passed by reference through mailboxes — while
+// internal/comm/wire provides a framed TCP/unix-socket substrate for worlds
+// spanning OS processes. The matching layer here is shared by both.
 //
 // The paper's three reference implementations are written in MPI; this
 // package reproduces the programming model so the drivers in
@@ -11,8 +17,8 @@
 //
 // Error handling follows MPI's abort semantics: protocol misuse (bad rank,
 // type mismatch, receive after abort) panics inside the rank goroutine;
-// World.Run recovers panics, aborts every other rank, and returns the first
-// failure as an error.
+// World.Run recovers panics, aborts every other rank (across processes on a
+// wire transport), and returns the first failure as an error.
 package comm
 
 import (
@@ -25,21 +31,15 @@ import (
 // AnySource is the wildcard source rank for Recv.
 const AnySource = -1
 
-// message is one in-flight message.
-type message struct {
-	ctx  uint64
-	src  int // world rank of sender, translated to comm rank on receipt
-	tag  int
-	data any
-}
-
 // inbox is a rank's mailbox: a mutex-guarded pending list with condition
 // variable wakeups. Matching preserves MPI's non-overtaking guarantee:
 // between one (src, tag, ctx) pair, messages are received in send order.
+// (A wire transport preserves the same guarantee because each peer's frames
+// arrive over one ordered stream and are delivered by one reader.)
 type inbox struct {
 	mu      sync.Mutex
 	cond    *sync.Cond
-	pending []message
+	pending []Message
 }
 
 func newInbox() *inbox {
@@ -48,9 +48,14 @@ func newInbox() *inbox {
 	return ib
 }
 
-// World owns the ranks and shared state of one SPMD execution.
+// World owns the locally-hosted ranks and shared state of one SPMD
+// execution. With the in-process transport the world is the whole
+// execution; with a wire transport it is this process's slice of it.
 type World struct {
-	size    int
+	size  int
+	tr    Transport
+	local []int
+	// inboxes is indexed by world rank; nil for ranks hosted elsewhere.
 	inboxes []*inbox
 	opts    Options
 
@@ -61,7 +66,8 @@ type World struct {
 	// chaosInflight tracks delayed chaos-mode deliveries so Run can drain
 	// them before returning: without it every chaos Send leaks a detached
 	// goroutine that may fire after Run has returned — into a world the
-	// caller believes is finished.
+	// caller believes is finished. Chaos lives above the transport, so the
+	// same drain covers both substrates.
 	chaosInflight sync.WaitGroup
 }
 
@@ -80,11 +86,21 @@ type Options struct {
 	ChaosSeed int64
 }
 
-// NewWorld creates a world with the given number of ranks.
+// NewWorld creates a world with the given number of ranks on the in-process
+// transport: all ranks are goroutines of this process and payloads move by
+// reference, never serialized.
 func NewWorld(size int, opts ...Options) *World {
 	if size <= 0 {
 		panic(fmt.Sprintf("comm: world size must be positive, got %d", size))
 	}
+	return NewTransportWorld(newInproc(size), opts...)
+}
+
+// NewTransportWorld creates a world over an arbitrary transport. The world
+// hosts the transport's LocalRanks; Run executes the rank function once per
+// local rank. On a wire transport every participating process builds its
+// own World over its end of the same transport.
+func NewTransportWorld(tr Transport, opts ...Options) *World {
 	var o Options
 	if len(opts) > 0 {
 		o = opts[0]
@@ -92,20 +108,49 @@ func NewWorld(size int, opts ...Options) *World {
 	if o.RecvTimeout == 0 {
 		o.RecvTimeout = 60 * time.Second
 	}
-	w := &World{size: size, opts: o}
-	w.inboxes = make([]*inbox, size)
-	for i := range w.inboxes {
-		w.inboxes[i] = newInbox()
+	w := &World{size: tr.Size(), tr: tr, local: tr.LocalRanks(), opts: o}
+	w.inboxes = make([]*inbox, w.size)
+	for _, r := range w.local {
+		if r < 0 || r >= w.size {
+			panic(fmt.Sprintf("comm: transport local rank %d out of range [0,%d)", r, w.size))
+		}
+		w.inboxes[r] = newInbox()
 	}
+	tr.Start(w)
 	return w
 }
 
-// Size returns the number of ranks.
+// Size returns the number of ranks in the world (across all processes).
 func (w *World) Size() int { return w.size }
 
-// Run executes fn once per rank, each in its own goroutine, and waits for
-// all of them. The first panic or returned error aborts the world (waking
-// any blocked receives) and is returned.
+// LocalRanks returns the world ranks hosted by this process.
+func (w *World) LocalRanks() []int { return w.local }
+
+// Wired reports whether the world's transport serializes payloads.
+func (w *World) Wired() bool { return w.tr.Wired() }
+
+// Incoming implements Handler: the transport delivers a matched message to
+// a locally-hosted rank's mailbox.
+func (w *World) Incoming(dst int, m Message) {
+	ib := w.inboxes[dst]
+	if ib == nil {
+		panic(fmt.Sprintf("comm: transport delivered to non-local rank %d", dst))
+	}
+	ib.mu.Lock()
+	ib.pending = append(ib.pending, m)
+	ib.cond.Broadcast()
+	ib.mu.Unlock()
+}
+
+// RemoteAbort implements Handler: another process aborted the world.
+func (w *World) RemoteAbort(err error) {
+	w.abort(err, false)
+}
+
+// Run executes fn once per locally-hosted rank, each in its own goroutine,
+// and waits for all of them (plus, on a wire transport, for the world's
+// shutdown handshake). The first panic or returned error aborts the world —
+// waking any blocked receives, locally and remotely — and is returned.
 func (w *World) Run(fn func(c *Comm) error) error {
 	// A single watchdog periodically wakes every blocked receiver so it can
 	// check its deadline and the abort flag; this keeps the Recv hot path
@@ -120,11 +165,7 @@ func (w *World) Run(fn func(c *Comm) error) error {
 				case <-stopWatchdog:
 					return
 				case <-t.C:
-					for _, ib := range w.inboxes {
-						ib.mu.Lock()
-						ib.cond.Broadcast()
-						ib.mu.Unlock()
-					}
+					w.wakeAll()
 				}
 			}
 		}()
@@ -132,18 +173,18 @@ func (w *World) Run(fn func(c *Comm) error) error {
 	defer close(stopWatchdog)
 
 	var wg sync.WaitGroup
-	wg.Add(w.size)
-	for r := 0; r < w.size; r++ {
+	wg.Add(len(w.local))
+	for _, r := range w.local {
 		c := w.comm(r)
 		go func() {
 			defer wg.Done()
 			defer func() {
 				if p := recover(); p != nil {
-					w.abort(fmt.Errorf("comm: rank %d panicked: %v", c.rank, p))
+					w.abort(fmt.Errorf("comm: rank %d panicked: %v", c.rank, p), true)
 				}
 			}()
 			if err := fn(c); err != nil {
-				w.abort(fmt.Errorf("comm: rank %d: %w", c.rank, err))
+				w.abort(fmt.Errorf("comm: rank %d: %w", c.rank, err), true)
 			}
 		}()
 	}
@@ -152,9 +193,15 @@ func (w *World) Run(fn func(c *Comm) error) error {
 	// exiting must land before Run returns, so no goroutine outlives the
 	// world (and no test sees a delivery after Run).
 	w.chaosInflight.Wait()
+	// Let the transport flush and tear down (a no-op in-process; a wire
+	// transport runs the shutdown handshake with the rest of the world).
+	finErr := w.tr.Finish(w.isAborted())
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	return w.abortErr
+	if w.abortErr != nil {
+		return w.abortErr
+	}
+	return finErr
 }
 
 // comm builds the world communicator view for one rank.
@@ -170,15 +217,30 @@ func (w *World) comm(rank int) *Comm {
 	return &Comm{world: w, rank: rank, group: group, ctx: 0, chaos: chaos}
 }
 
-// abort records the first error and wakes all blocked receivers.
-func (w *World) abort(err error) {
+// abort records the first error and wakes all blocked receivers. When the
+// abort originated locally (notifyTransport), it is also propagated to the
+// rest of the world through the transport.
+func (w *World) abort(err error, notifyTransport bool) {
 	w.mu.Lock()
-	if !w.aborted {
+	first := !w.aborted
+	if first {
 		w.aborted = true
 		w.abortErr = err
 	}
 	w.mu.Unlock()
+	w.wakeAll()
+	if first && notifyTransport {
+		w.tr.Abort(err)
+	}
+}
+
+// wakeAll broadcasts on every local mailbox so blocked receivers re-check
+// the abort flag and their deadlines.
+func (w *World) wakeAll() {
 	for _, ib := range w.inboxes {
+		if ib == nil {
+			continue
+		}
 		ib.mu.Lock()
 		ib.cond.Broadcast()
 		ib.mu.Unlock()
@@ -215,10 +277,21 @@ func (c *Comm) Size() int { return len(c.group) }
 // WorldRank returns the caller's rank in the world communicator.
 func (c *Comm) WorldRank() int { return c.group[c.rank] }
 
+// OnWire reports whether this communicator's messages are serialized onto a
+// byte stream. Substrates use it to decide between measured and estimated
+// exchange byte accounting, and tests use it to skip in-process-only
+// invariants (zero-alloc pins, pointer-identity checks).
+func (c *Comm) OnWire() bool { return c.world.tr.Wired() }
+
+// TransportBytes returns the cumulative framed bytes the transport shipped
+// on behalf of this rank (0 in-process, where nothing is serialized).
+func (c *Comm) TransportBytes() int64 { return c.world.tr.SentBytes(c.group[c.rank]) }
+
 // Send delivers data to rank dst of this communicator with the given tag.
 // Send is asynchronous and never blocks (buffered, like MPI_Isend with an
 // unbounded buffer). Ownership of reference-typed data transfers to the
-// receiver: the sender must not mutate it afterwards.
+// receiver: the sender must not mutate it afterwards. On a wire transport
+// the payload must have a codec registered with internal/pup.
 func (c *Comm) Send(dst, tag int, data any) {
 	if dst < 0 || dst >= len(c.group) {
 		panic(fmt.Sprintf("comm: send to invalid rank %d (size %d)", dst, len(c.group)))
@@ -237,11 +310,7 @@ func (c *Comm) Send(dst, tag int, data any) {
 }
 
 func (c *Comm) deliver(dst, tag int, data any) {
-	ib := c.world.inboxes[c.group[dst]]
-	ib.mu.Lock()
-	ib.pending = append(ib.pending, message{ctx: c.ctx, src: c.group[c.rank], tag: tag, data: data})
-	ib.cond.Broadcast()
-	ib.mu.Unlock()
+	c.world.tr.Ship(c.group[dst], Message{Ctx: c.ctx, Src: c.group[c.rank], Tag: tag, Data: data})
 }
 
 // Recv blocks until a message with a matching source and tag arrives on
@@ -265,17 +334,17 @@ func (c *Comm) Recv(src, tag int) (any, int) {
 		}
 		for i := range ib.pending {
 			m := &ib.pending[i]
-			if m.ctx != c.ctx || m.tag != tag {
+			if m.Ctx != c.ctx || m.Tag != tag {
 				continue
 			}
-			srcRank := c.rankOfWorld(m.src)
+			srcRank := c.rankOfWorld(m.Src)
 			if srcRank < 0 {
 				continue // message from outside this communicator's group
 			}
 			if src != AnySource && srcRank != src {
 				continue
 			}
-			data := m.data
+			data := m.Data
 			ib.pending = append(ib.pending[:i], ib.pending[i+1:]...)
 			return data, srcRank
 		}

@@ -1,0 +1,154 @@
+// Package wire is the framed socket transport for internal/comm: a world
+// whose ranks span OS processes (and machines), meshed over TCP or unix
+// sockets. Payloads are serialized through the internal/pup codec registry;
+// the matching semantics (tags, contexts, wildcard receives, collectives)
+// stay in internal/comm and are identical to the in-process substrate, which
+// is what the cross-transport bitwise-identity tests pin.
+//
+// Topology: a world of R ranks is hosted by N nodes (one process each), each
+// owning a contiguous span of ranks. A rendezvous listener admits joining
+// nodes, assigns rank bases, and broadcasts the node table; the nodes then
+// build a full mesh — node i dials every node j < i plus itself (the
+// self-dial means co-hosted rank traffic crosses a real socket too, so a
+// loopback world exercises exactly the frames a distributed one would).
+package wire
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/parres/picprk/internal/pup"
+)
+
+// Every frame starts with a fixed 32-byte little-endian header:
+//
+//	offset  size  field
+//	     0     4  length of the rest of the frame (28 header bytes + payload)
+//	     4     1  protocol version (currently 1)
+//	     5     1  frame type (data / abort / done / bye / hello)
+//	     6     2  payload kind (pup codec id for data frames; 0 on control)
+//	     8     4  destination world rank
+//	    12     4  source world rank (node index on control frames)
+//	    16     8  communicator context id
+//	    24     8  tag (two's complement)
+//	    32     …  payload (pup-encoded body)
+//
+// The layout is pinned by TestFrameGolden in golden_test.go; change it only
+// with a version bump there and in DESIGN.md.
+const (
+	headerBytes  = 32
+	frameVersion = 1
+	maxFrameBody = 1 << 30 // sanity bound on the length field
+)
+
+type frameType uint8
+
+const (
+	frameData  frameType = 1 // application payload; kind identifies the codec
+	frameAbort frameType = 2 // world abort; payload is the error string
+	frameDone  frameType = 3 // node finished its local ranks (sent to node 0)
+	frameBye   frameType = 4 // node 0's shutdown go-ahead
+	frameHello frameType = 5 // rendezvous and mesh handshake
+)
+
+type frame struct {
+	typ     frameType
+	kind    pup.Kind
+	dst     uint32
+	src     uint32
+	ctx     uint64
+	tag     int64
+	payload []byte
+}
+
+// encode appends the framed bytes to dst and returns the extended slice.
+func (f *frame) encode(dst []byte) []byte {
+	var hdr [headerBytes]byte
+	putU32(hdr[0:], uint32(headerBytes-4+len(f.payload)))
+	hdr[4] = frameVersion
+	hdr[5] = byte(f.typ)
+	putU16(hdr[6:], uint16(f.kind))
+	putU32(hdr[8:], f.dst)
+	putU32(hdr[12:], f.src)
+	putU64(hdr[16:], f.ctx)
+	putU64(hdr[24:], uint64(f.tag))
+	return append(append(dst, hdr[:]...), f.payload...)
+}
+
+// readFrame reads and validates one frame from r.
+func readFrame(r io.Reader) (frame, error) {
+	var hdr [headerBytes]byte
+	if _, err := io.ReadFull(r, hdr[:4]); err != nil {
+		return frame{}, err
+	}
+	n := int(getU32(hdr[0:]))
+	if n < headerBytes-4 || n > maxFrameBody {
+		return frame{}, fmt.Errorf("wire: implausible frame length %d", n)
+	}
+	if _, err := io.ReadFull(r, hdr[4:]); err != nil {
+		return frame{}, fmt.Errorf("wire: short frame header: %w", err)
+	}
+	if hdr[4] != frameVersion {
+		return frame{}, fmt.Errorf("wire: protocol version %d, want %d", hdr[4], frameVersion)
+	}
+	f := frame{
+		typ:  frameType(hdr[5]),
+		kind: pup.Kind(getU16(hdr[6:])),
+		dst:  getU32(hdr[8:]),
+		src:  getU32(hdr[12:]),
+		ctx:  getU64(hdr[16:]),
+		tag:  int64(getU64(hdr[24:])),
+	}
+	if pl := n - (headerBytes - 4); pl > 0 {
+		f.payload = make([]byte, pl)
+		if _, err := io.ReadFull(r, f.payload); err != nil {
+			return frame{}, fmt.Errorf("wire: short frame payload: %w", err)
+		}
+	}
+	return f, nil
+}
+
+func putU16(b []byte, v uint16) {
+	b[0], b[1] = byte(v), byte(v>>8)
+}
+
+func getU16(b []byte) uint16 {
+	return uint16(b[0]) | uint16(b[1])<<8
+}
+
+func putU32(b []byte, v uint32) {
+	b[0], b[1], b[2], b[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+}
+
+func getU32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+func putU64(b []byte, v uint64) {
+	putU32(b[0:], uint32(v))
+	putU32(b[4:], uint32(v>>32))
+}
+
+func getU64(b []byte) uint64 {
+	return uint64(getU32(b[0:])) | uint64(getU32(b[4:]))<<32
+}
+
+// encodeString pup-encodes a bare string (abort payloads).
+func encodeString(s string) []byte {
+	sz := pup.NewSizer()
+	sz.String(&s)
+	pk := pup.NewPacker(sz.Size())
+	pk.String(&s)
+	return pk.Bytes()
+}
+
+// decodeString reverses encodeString.
+func decodeString(b []byte) (string, error) {
+	u := pup.NewUnpacker(b)
+	var s string
+	u.String(&s)
+	if u.Err() != nil {
+		return "", u.Err()
+	}
+	return s, nil
+}

@@ -1,0 +1,415 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/parres/picprk/internal/comm"
+	"github.com/parres/picprk/internal/pup"
+)
+
+const (
+	handshakeTimeout  = 60 * time.Second
+	finishTimeout     = 60 * time.Second
+	abortFlushTimeout = 2 * time.Second
+)
+
+// NodeInfo describes one process of a wire world, as assigned by the
+// rendezvous. Nodes are indexed in rank order, so node 0 hosts world rank 0.
+type NodeInfo struct {
+	Base  int    // first world rank hosted by the node
+	Count int    // number of contiguous ranks hosted
+	Addr  string // the node's mesh listener address
+}
+
+// Node is this process's end of a wire world: a comm.Transport that frames
+// messages over one socket per peer node. Build one with Join (or
+// LoopbackCluster for tests), then hand it to comm.NewTransportWorld.
+//
+// Shutdown handshake: when a node's local ranks have all returned, its
+// Finish flushes outstanding frames and reports DONE to node 0; node 0
+// broadcasts BYE once every node (itself included) is done, and only then do
+// nodes close their sockets. Every data frame is therefore on the wire —
+// and, because receives block until matched, consumed — before any socket
+// closes, so the handshake cannot lose application traffic.
+type Node struct {
+	network string
+	index   int
+	size    int
+	nodes   []NodeInfo
+	owner   []int // world rank -> hosting node index
+	local   []int
+
+	ln    net.Listener
+	peers []*peer // write side per node index; peers[index] is the self-dial
+	conns []net.Conn
+	sent  []int64 // framed bytes shipped per world rank (atomic; local only)
+
+	handler     comm.Handler
+	started     chan struct{}
+	startedOnce sync.Once
+
+	mu        sync.Mutex
+	closing   bool
+	doneFrom  []bool // node 0 only: which nodes reported DONE
+	doneCount int
+
+	bye        chan struct{}
+	byeOnce    sync.Once
+	abortedCh  chan struct{}
+	abortOnce  sync.Once // first local Abort broadcast
+	markedOnce sync.Once // abortedCh close (local or remote)
+}
+
+// release unblocks readLoops waiting for Start; closeAll uses it so a node
+// discarded before Start (mesh failure) does not leak reader goroutines.
+func (n *Node) release() {
+	n.startedOnce.Do(func() { close(n.started) })
+}
+
+// Size implements comm.Transport.
+func (n *Node) Size() int { return n.size }
+
+// Index returns this node's index in the world's node table.
+func (n *Node) Index() int { return n.index }
+
+// Nodes returns the world's node table (copy).
+func (n *Node) Nodes() []NodeInfo { return append([]NodeInfo(nil), n.nodes...) }
+
+// LocalRanks implements comm.Transport.
+func (n *Node) LocalRanks() []int { return append([]int(nil), n.local...) }
+
+// Wired implements comm.Transport: payloads are serialized.
+func (n *Node) Wired() bool { return true }
+
+// SentBytes implements comm.Transport.
+func (n *Node) SentBytes(src int) int64 {
+	if src < 0 || src >= n.size || n.owner[src] != n.index {
+		return 0
+	}
+	return atomic.LoadInt64(&n.sent[src])
+}
+
+// Start implements comm.Transport: readers hold delivery until the world's
+// handler is registered.
+func (n *Node) Start(h comm.Handler) {
+	n.handler = h
+	n.release()
+}
+
+// Ship implements comm.Transport: serialize the payload through the pup
+// codec registry and enqueue the frame on the destination node's writer.
+// Unlike the in-process substrate, even locally-hosted destinations cross
+// the socket (via the self-dial), so a loopback world exercises the exact
+// frames a distributed one would.
+func (n *Node) Ship(dst int, m comm.Message) {
+	body, kind, err := pup.EncodePayload(nil, m.Data)
+	if err != nil {
+		// Abort instead of panicking: Ship may run on a chaos-delay
+		// goroutine, where a panic would crash the process rather than
+		// surface through World.Run.
+		n.fail(fmt.Errorf("wire: rank %d -> %d (tag %d): %w", m.Src, dst, m.Tag, err))
+		return
+	}
+	f := frame{
+		typ: frameData, kind: kind,
+		dst: uint32(dst), src: uint32(m.Src),
+		ctx: m.Ctx, tag: int64(m.Tag), payload: body,
+	}
+	b := f.encode(nil)
+	atomic.AddInt64(&n.sent[m.Src], int64(len(b)))
+	n.peers[n.owner[dst]].enqueue(b)
+}
+
+// Abort implements comm.Transport: broadcast the failure to every peer so
+// their blocked receives wake, and release local Finish waiters.
+func (n *Node) Abort(err error) {
+	n.abortOnce.Do(func() {
+		f := frame{typ: frameAbort, src: uint32(n.index), payload: encodeString(err.Error())}
+		b := f.encode(nil)
+		for i, p := range n.peers {
+			if i != n.index {
+				p.enqueue(b)
+			}
+		}
+	})
+	n.markAborted()
+}
+
+// fail aborts the world on a transport-level failure (encode/decode error,
+// protocol violation): locally through the handler, remotely via Abort.
+func (n *Node) fail(err error) {
+	n.handler.RemoteAbort(err)
+	n.Abort(err)
+}
+
+func (n *Node) markAborted() {
+	n.markedOnce.Do(func() { close(n.abortedCh) })
+}
+
+// Finish implements comm.Transport: run the shutdown handshake (or, when
+// aborted, a best-effort flush) and tear the mesh down.
+func (n *Node) Finish(aborted bool) error {
+	if aborted {
+		// Give in-flight abort/data frames a moment to reach the kernel so
+		// remote ranks wake promptly, then tear down; remote readers treat
+		// the EOF as an abort too, so nothing hangs if the flush times out.
+		for _, p := range n.peers {
+			_ = p.flush(abortFlushTimeout)
+		}
+		n.closeAll()
+		return nil
+	}
+	var ferr error
+	for _, p := range n.peers {
+		if err := p.flush(finishTimeout); err != nil && ferr == nil {
+			ferr = err
+		}
+	}
+	if n.index == 0 {
+		n.noteDone(0)
+	} else {
+		f := frame{typ: frameDone, src: uint32(n.index)}
+		n.peers[0].enqueue(f.encode(nil))
+	}
+	select {
+	case <-n.bye:
+		// Echo BYE to every peer before closing. Node 0's broadcast travels
+		// on its own sockets only, so without the echo a fast node's close
+		// could reach a slow peer before that peer's BYE does — and the slow
+		// peer would read the EOF as a lost connection. With the echo, every
+		// connection carries a BYE ahead of its EOF (same ordered stream),
+		// so whichever frame a reader sees first marks the shutdown. The
+		// flush puts the echoes on the wire before the sockets close.
+		f := frame{typ: frameBye, src: uint32(n.index)}
+		b := f.encode(nil)
+		for i, p := range n.peers {
+			if i != n.index {
+				p.enqueue(b)
+			}
+		}
+		for _, p := range n.peers {
+			_ = p.flush(abortFlushTimeout)
+		}
+	case <-n.abortedCh:
+	case <-time.After(finishTimeout):
+		if ferr == nil {
+			ferr = errors.New("wire: timed out waiting for world shutdown")
+		}
+	}
+	n.closeAll()
+	return ferr
+}
+
+func (n *Node) setClosing() {
+	n.mu.Lock()
+	n.closing = true
+	n.mu.Unlock()
+}
+
+// isClosing reports whether socket EOFs are expected rather than failures:
+// after the world's BYE, after a local abort began teardown, or once
+// closeAll ran.
+func (n *Node) isClosing() bool {
+	select {
+	case <-n.bye:
+		return true
+	default:
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.closing
+}
+
+func (n *Node) closeAll() {
+	n.setClosing()
+	n.release()
+	if n.ln != nil {
+		_ = n.ln.Close()
+	}
+	for _, p := range n.peers {
+		p.close()
+	}
+	for _, c := range n.conns {
+		_ = c.Close()
+	}
+}
+
+// noteDone records a node's DONE at node 0 and broadcasts BYE once the
+// whole world reported in.
+func (n *Node) noteDone(nodeIdx int) {
+	if n.index != 0 {
+		n.fail(fmt.Errorf("wire: node %d received DONE meant for node 0", n.index))
+		return
+	}
+	n.mu.Lock()
+	if nodeIdx < 0 || nodeIdx >= len(n.doneFrom) || n.doneFrom[nodeIdx] {
+		n.mu.Unlock()
+		n.fail(fmt.Errorf("wire: duplicate or invalid DONE from node %d", nodeIdx))
+		return
+	}
+	n.doneFrom[nodeIdx] = true
+	n.doneCount++
+	ready := n.doneCount == len(n.nodes)
+	n.mu.Unlock()
+	if ready {
+		f := frame{typ: frameBye, src: uint32(n.index)}
+		b := f.encode(nil)
+		for i, p := range n.peers {
+			if i != n.index {
+				p.enqueue(b)
+			}
+		}
+		n.noteBye()
+	}
+}
+
+func (n *Node) noteBye() {
+	n.byeOnce.Do(func() { close(n.bye) })
+}
+
+// readLoop consumes frames from one socket until it breaks or the world
+// shuts down. Per-peer frame order is preserved because each peer pair
+// shares one ordered stream with a single reader — the wire equivalent of
+// the in-process non-overtaking guarantee.
+func (n *Node) readLoop(conn net.Conn) {
+	<-n.started
+	for {
+		f, err := readFrame(conn)
+		if err != nil {
+			if !n.isClosing() {
+				n.handler.RemoteAbort(fmt.Errorf("wire: node %d lost a peer connection: %w", n.index, err))
+				n.markAborted()
+			}
+			return
+		}
+		switch f.typ {
+		case frameData:
+			v, derr := pup.DecodePayload(f.kind, f.payload)
+			if derr != nil {
+				n.fail(fmt.Errorf("wire: node %d: bad data frame: %w", n.index, derr))
+				return
+			}
+			dst := int(f.dst)
+			if dst < 0 || dst >= n.size || n.owner[dst] != n.index {
+				n.fail(fmt.Errorf("wire: node %d received a frame for rank %d it does not host", n.index, dst))
+				return
+			}
+			n.handler.Incoming(dst, comm.Message{Ctx: f.ctx, Src: int(f.src), Tag: int(f.tag), Data: v})
+		case frameAbort:
+			msg := "wire: remote abort"
+			if s, serr := decodeString(f.payload); serr == nil && s != "" {
+				msg = s
+			}
+			n.handler.RemoteAbort(errors.New(msg))
+			n.markAborted()
+		case frameDone:
+			n.noteDone(int(f.src))
+		case frameBye:
+			n.noteBye()
+		default:
+			n.fail(fmt.Errorf("wire: node %d: unknown frame type %d", n.index, f.typ))
+			return
+		}
+	}
+}
+
+// peer is the write side of one mesh connection: an unbounded queue drained
+// by a dedicated writer goroutine, so Ship never blocks on TCP backpressure
+// (comm.Send promises MPI_Isend-with-unbounded-buffer semantics, and a
+// blocking Ship could deadlock two nodes sending large volumes head-on).
+type peer struct {
+	conn net.Conn
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   [][]byte
+	writing bool
+	closed  bool
+	err     error
+}
+
+func newPeer(conn net.Conn) *peer {
+	p := &peer{conn: conn}
+	p.cond = sync.NewCond(&p.mu)
+	go p.writeLoop()
+	return p
+}
+
+func (p *peer) enqueue(b []byte) {
+	p.mu.Lock()
+	if !p.closed && p.err == nil {
+		p.queue = append(p.queue, b)
+	}
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
+func (p *peer) writeLoop() {
+	for {
+		p.mu.Lock()
+		for len(p.queue) == 0 && !p.closed {
+			p.cond.Wait()
+		}
+		if len(p.queue) == 0 {
+			p.mu.Unlock()
+			return
+		}
+		b := p.queue[0]
+		p.queue = p.queue[1:]
+		p.writing = true
+		p.mu.Unlock()
+		_, err := p.conn.Write(b)
+		p.mu.Lock()
+		p.writing = false
+		if err != nil && p.err == nil {
+			p.err = err
+			p.queue = nil // the stream is broken; readers will notice
+		}
+		p.cond.Broadcast()
+		p.mu.Unlock()
+	}
+}
+
+// flush blocks until every enqueued frame has been handed to the kernel, the
+// connection breaks, or the timeout passes.
+func (p *peer) flush(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	stop := make(chan struct{})
+	go func() {
+		t := time.NewTicker(20 * time.Millisecond)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				p.mu.Lock()
+				p.cond.Broadcast()
+				p.mu.Unlock()
+			}
+		}
+	}()
+	defer close(stop)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for (len(p.queue) > 0 || p.writing) && p.err == nil && !p.closed {
+		if time.Now().After(deadline) {
+			return errors.New("wire: flush timed out")
+		}
+		p.cond.Wait()
+	}
+	return p.err
+}
+
+func (p *peer) close() {
+	p.mu.Lock()
+	p.closed = true
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	_ = p.conn.Close()
+}

@@ -1,0 +1,65 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/parres/picprk/internal/pup"
+)
+
+// KindColumnsPtr is the wire codec kind for *Columns exchange shards.
+const KindColumnsPtr pup.Kind = 40
+
+// PUPColumns is the wire traversal for a Columns shard, producing exactly
+// the framed layout the exchange-byte accounting documents (DESIGN.md §5
+// and the constants above): six uint64 section lengths (48 bytes of
+// framing), the five hot float64 columns, then one 40-byte metadata record
+// per particle — ColumnsFrameBytes + n·ColumnsBytesPerParticle in total,
+// so Columns.FramedBytes is the encoder's true output size by construction
+// (pinned by TestColumnsWireGolden). Shared by the *Columns codec and the
+// VP parcel codec in internal/driver.
+func PUPColumns(p *pup.PUPer, c *Columns) {
+	lens := [6]uint64{
+		uint64(len(c.X)), uint64(len(c.Y)), uint64(len(c.VX)),
+		uint64(len(c.VY)), uint64(len(c.Q)), uint64(len(c.Meta)),
+	}
+	for i := range lens {
+		p.Uint64(&lens[i])
+	}
+	if p.Mode() == pup.Unpacking {
+		need := 8*(lens[0]+lens[1]+lens[2]+lens[3]+lens[4]) + 40*lens[5]
+		if need > uint64(p.Remaining()) {
+			p.Fail(fmt.Errorf("core: columns shard claims %d bytes, %d remain", need, p.Remaining()))
+			return
+		}
+		c.X = make([]float64, lens[0])
+		c.Y = make([]float64, lens[1])
+		c.VX = make([]float64, lens[2])
+		c.VY = make([]float64, lens[3])
+		c.Q = make([]float64, lens[4])
+		c.Meta = make([]SoAMeta, lens[5])
+	}
+	for _, col := range [5][]float64{c.X, c.Y, c.VX, c.VY, c.Q} {
+		for i := range col {
+			p.Float64(&col[i])
+		}
+	}
+	for i := range c.Meta {
+		PUPSoAMeta(p, &c.Meta[i])
+	}
+}
+
+// PUPSoAMeta serializes one 40-byte metadata record (8 ID + 2×8 origin +
+// 4×4 trajectory ints).
+func PUPSoAMeta(p *pup.PUPer, m *SoAMeta) {
+	p.Uint64(&m.ID)
+	p.Float64(&m.X0)
+	p.Float64(&m.Y0)
+	p.Int32(&m.K)
+	p.Int32(&m.M)
+	p.Int32(&m.Dir)
+	p.Int32(&m.Born)
+}
+
+func init() {
+	pup.RegisterPtrCodec[Columns](KindColumnsPtr, PUPColumns)
+}

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"github.com/parres/picprk/internal/pup"
+)
+
+// TestColumnsWireGolden pins the documented exchange wire layout byte for
+// byte: 48 bytes of framing (six little-endian uint64 section lengths)
+// followed by 80 bytes per particle — the five hot float64 columns, then
+// the 40-byte metadata record. This is the format DESIGN.md documents and
+// Columns.FramedBytes accounts; if it drifts, fix the encoder, not the test.
+func TestColumnsWireGolden(t *testing.T) {
+	c := &Columns{
+		X: []float64{1.5}, Y: []float64{-2.25},
+		VX: []float64{3.0}, VY: []float64{-0.5},
+		Q:    []float64{7.75},
+		Meta: []SoAMeta{{ID: 0x0102030405060708, X0: 0.25, Y0: -8.5, K: 2, M: -3, Dir: 1, Born: 4}},
+	}
+	sz := pup.NewSizer()
+	PUPColumns(sz, c)
+	pk := pup.NewPacker(sz.Size())
+	PUPColumns(pk, c)
+	if pk.Err() != nil {
+		t.Fatal(pk.Err())
+	}
+	got := pk.Bytes()
+
+	if int64(len(got)) != c.FramedBytes() {
+		t.Fatalf("encoded %d bytes, FramedBytes says %d", len(got), c.FramedBytes())
+	}
+	if len(got) != ColumnsFrameBytes+1*ColumnsBytesPerParticle {
+		t.Fatalf("encoded %d bytes, want %d frame + %d per particle",
+			len(got), ColumnsFrameBytes, ColumnsBytesPerParticle)
+	}
+
+	var want bytes.Buffer
+	le := binary.LittleEndian
+	u64 := func(v uint64) { _ = binary.Write(&want, le, v) }
+	f64 := func(v float64) { u64(math.Float64bits(v)) }
+	i32 := func(v int32) { _ = binary.Write(&want, le, v) }
+	for i := 0; i < 6; i++ { // six section lengths
+		u64(1)
+	}
+	f64(1.5)
+	f64(-2.25)
+	f64(3.0)
+	f64(-0.5)
+	f64(7.75)
+	u64(0x0102030405060708)
+	f64(0.25)
+	f64(-8.5)
+	i32(2)
+	i32(-3)
+	i32(1)
+	i32(4)
+	if !bytes.Equal(got, want.Bytes()) {
+		t.Fatalf("columns encoding drifted:\n got % x\nwant % x", got, want.Bytes())
+	}
+
+	// Round trip through the registered *Columns codec, including typed nil.
+	body, kind, err := pup.EncodePayload(nil, c)
+	if err != nil || kind != KindColumnsPtr {
+		t.Fatalf("encode payload: kind=%d err=%v", kind, err)
+	}
+	back, err := pup.DecodePayload(kind, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bc := back.(*Columns)
+	if bc.Len() != 1 || bc.X[0] != 1.5 || bc.Meta[0] != c.Meta[0] {
+		t.Fatalf("columns did not round-trip: %+v", bc)
+	}
+	nilBody, kind, err := pup.EncodePayload(nil, (*Columns)(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err = pup.DecodePayload(kind, nilBody)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pc, ok := back.(*Columns); !ok || pc != nil {
+		t.Fatalf("nil shard did not round-trip: %#v", back)
+	}
+}
+
+func TestColumnsWireRejectsOversizedLengths(t *testing.T) {
+	// A frame claiming huge sections must fail before allocating.
+	var hdr bytes.Buffer
+	for i := 0; i < 6; i++ {
+		_ = binary.Write(&hdr, binary.LittleEndian, uint64(1<<40))
+	}
+	u := pup.NewUnpacker(hdr.Bytes())
+	var c Columns
+	PUPColumns(u, &c)
+	if u.Err() == nil {
+		t.Fatal("oversized section lengths were accepted")
+	}
+}

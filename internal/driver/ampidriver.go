@@ -38,6 +38,17 @@ func (p AMPIParams) Validate() error {
 // migrating VP state (particles and mesh block) between cores with PUP
 // serialization.
 func RunAMPI(p int, cfg Config, params AMPIParams) (*Result, error) {
+	eng, err := NewAMPIEngine(p, cfg, params)
+	if err != nil {
+		return nil, err
+	}
+	return eng.Run(p)
+}
+
+// NewAMPIEngine builds the ampi engine without running it. The world size p
+// is needed up front because topology hints are installed on the shared
+// strategy value before the SPMD region starts.
+func NewAMPIEngine(p int, cfg Config, params AMPIParams) (*Engine, error) {
 	if err := params.Validate(); err != nil {
 		return nil, err
 	}
@@ -60,5 +71,5 @@ func RunAMPI(p int, cfg Config, params AMPIParams) (*Result, error) {
 		},
 		Balancer: func() balance.Balancer { return balance.NewAMPIBalancer(params.Strategy, params.Every) },
 	}
-	return eng.Run(p)
+	return eng, nil
 }

@@ -12,7 +12,14 @@ import (
 // balancing — with a skewed particle distribution this is the baseline that
 // the balanced implementations beat.
 func RunBaseline(p int, cfg Config) (*Result, error) {
-	eng := &Engine{
+	return NewBaselineEngine(cfg).Run(p)
+}
+
+// NewBaselineEngine builds the baseline engine without running it, for
+// callers that drive the rank pipeline themselves (picrun workers via
+// Engine.RunWorld).
+func NewBaselineEngine(cfg Config) *Engine {
+	return &Engine{
 		Name: "baseline",
 		Cfg:  cfg,
 		Substrate: func(c *comm.Comm, cfg Config) (Substrate, error) {
@@ -21,5 +28,4 @@ func RunBaseline(p int, cfg Config) (*Result, error) {
 		},
 		Balancer: func() balance.Balancer { return balance.NullBalancer{} },
 	}
-	return eng.Run(p)
 }

@@ -131,6 +131,7 @@ func (s *blockSubstrate) Exchange(rec *trace.Recorder) error {
 		s.sendPtrs = make([]*core.Columns, p)
 		s.recvPtrs = make([]*core.Columns, p)
 	}
+	onWire := s.c.OnWire()
 	for dst := range shards {
 		sh := &shards[dst]
 		if dst == me || sh.Len() == 0 {
@@ -138,9 +139,22 @@ func (s *blockSubstrate) Exchange(rec *trace.Recorder) error {
 			continue
 		}
 		s.sendPtrs[dst] = sh
-		s.xbytes += sh.FramedBytes()
+		if !onWire {
+			s.xbytes += sh.FramedBytes()
+		}
+	}
+	// In-process, exchange volume is the framed wire size the shards would
+	// occupy (FramedBytes above). On a wire transport the frames are real,
+	// so account the measured transport delta instead — same quantity, but
+	// including per-message framing, and exact rather than estimated.
+	var wireBase int64
+	if onWire {
+		wireBase = s.c.TransportBytes()
 	}
 	comm.ExchangePtr(s.c, s.sendPtrs, s.recvPtrs)
+	if onWire {
+		s.xbytes += s.c.TransportBytes() - wireBase
+	}
 	for src := 0; src < p; src++ {
 		if src == me {
 			continue // self shard is always empty (classification excludes self)

@@ -1,0 +1,109 @@
+package driver
+
+// Wire codecs for every payload the drivers route through internal/comm, so
+// all four engines run unchanged over the socket transport. The traversals
+// only write back when unpacking: packing a payload must not mutate it,
+// because a chaos-delayed wire Ship serializes while the sending rank may
+// still be reading the value it sent.
+
+import (
+	"time"
+
+	"github.com/parres/picprk/internal/core"
+	"github.com/parres/picprk/internal/pup"
+	"github.com/parres/picprk/internal/telemetry"
+)
+
+// Driver payload kinds (range 50–69, see pup.Kind).
+const (
+	kindColsParcel pup.Kind = 50
+	kindRowsParcel pup.Kind = 51
+	kindVPParcels  pup.Kind = 52
+	kindTimeline   pup.Kind = 53
+	kindRankStats  pup.Kind = 54
+)
+
+func pupDuration(p *pup.PUPer, d *time.Duration) {
+	u := uint64(*d)
+	p.Uint64(&u)
+	if p.Mode() == pup.Unpacking {
+		*d = time.Duration(u)
+	}
+}
+
+func pupInt64(p *pup.PUPer, v *int64) {
+	u := uint64(*v)
+	p.Uint64(&u)
+	if p.Mode() == pup.Unpacking {
+		*v = int64(u)
+	}
+}
+
+func pupColsParcel(p *pup.PUPer, c *colsParcel) {
+	p.Int(&c.X0)
+	p.Int(&c.W)
+	p.Float64s(&c.Cols)
+}
+
+func pupRowsParcel(p *pup.PUPer, r *rowsParcel) {
+	p.Int(&r.Y0)
+	p.Int(&r.H)
+	p.Float64s(&r.Rows)
+}
+
+func pupVPColParcel(p *pup.PUPer, e *vpColParcel) {
+	p.Int(&e.VP)
+	present := e.Cols != nil
+	p.Bool(&present)
+	if p.Mode() == pup.Unpacking {
+		if present {
+			e.Cols = &core.Columns{}
+		} else {
+			e.Cols = nil
+		}
+	}
+	if present {
+		core.PUPColumns(p, e.Cols)
+	}
+}
+
+func pupSample(p *pup.PUPer, s *telemetry.Sample) {
+	p.Int(&s.Step)
+	p.Int(&s.Rank)
+	for i := range s.Phases {
+		pupDuration(p, &s.Phases[i])
+	}
+	p.Int(&s.Particles)
+	p.Int(&s.Migrations)
+	pupInt64(p, &s.Bytes)
+	pupInt64(p, &s.ExchangeBytes)
+	p.String(&s.Decision)
+}
+
+func pupRankTimeline(p *pup.PUPer, t *rankTimeline) {
+	pup.Slice(p, &t.Samples, pupSample)
+	p.Int(&t.Dropped)
+}
+
+func pupRankStats(p *pup.PUPer, s *RankStats) {
+	p.Int(&s.Rank)
+	pupDuration(p, &s.Compute)
+	pupDuration(p, &s.Exchange)
+	pupDuration(p, &s.Balance)
+	pupDuration(p, &s.Migrate)
+	p.Int(&s.FinalParticles)
+	p.Int(&s.MaxParticles)
+	p.Int(&s.Migrations)
+	pupInt64(p, &s.BytesMigrated)
+	pupInt64(p, &s.BytesExchanged)
+}
+
+func init() {
+	pup.RegisterPtrCodec[colsParcel](kindColsParcel, pupColsParcel)
+	pup.RegisterPtrCodec[rowsParcel](kindRowsParcel, pupRowsParcel)
+	pup.RegisterPtrCodec[[]vpColParcel](kindVPParcels, func(p *pup.PUPer, v *[]vpColParcel) {
+		pup.Slice(p, v, pupVPColParcel)
+	})
+	pup.RegisterCodec[rankTimeline](kindTimeline, pupRankTimeline)
+	pup.RegisterCodec[RankStats](kindRankStats, pupRankStats)
+}

@@ -13,8 +13,28 @@ import (
 // neighbor. The Cartesian-product decomposition is preserved throughout, so
 // subdomains stay rectangular and the exchange stays regular.
 func RunDiffusion(p int, cfg Config, params diffusion.Params) (*Result, error) {
-	px, py := comm.Dims2D(p)
-	return runDiffusionShaped(p, px, py, cfg, params)
+	eng, err := NewDiffusionEngine(cfg, params)
+	if err != nil {
+		return nil, err
+	}
+	return eng.Run(p)
+}
+
+// NewDiffusionEngine builds the diffusion engine (2D decomposition, shaped
+// from the world size at rank startup) without running it.
+func NewDiffusionEngine(cfg Config, params diffusion.Params) (*Engine, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	return &Engine{
+		Name: "diffusion",
+		Cfg:  cfg,
+		Substrate: func(c *comm.Comm, cfg Config) (Substrate, error) {
+			px, py := comm.Dims2D(c.Size())
+			return newBlockSubstrate(c, cfg, px, py)
+		},
+		Balancer: func() balance.Balancer { return &balance.DiffusionBalancer{Params: params} },
+	}, nil
 }
 
 // RunDiffusion1D is RunDiffusion with the 1D block-column decomposition the

@@ -25,6 +25,7 @@ package driver
 
 import (
 	"fmt"
+	"os"
 	"runtime"
 	"sort"
 	"time"
@@ -69,6 +70,14 @@ type Config struct {
 	// duration up to this bound — a stress mode that shakes out ordering
 	// assumptions in the exchange and migration protocols.
 	Chaos time.Duration
+	// Transport selects the comm substrate: "" or "inproc" runs the ranks
+	// as goroutines sharing one in-process world (the default); "tcp" or
+	// "unix" runs each rank as its own wire node over loopback sockets,
+	// serializing every payload through the registered codecs — the same
+	// path picrun's multi-process mode uses. An empty field defers to the
+	// PICPRK_TRANSPORT environment variable, which is how the test suite
+	// reroutes the engine tests over the wire without editing them.
+	Transport string
 	// Workers is the number of worker goroutines each rank uses for the
 	// move phase (intra-rank shared-memory parallelism). 0 selects the
 	// default, GOMAXPROCS/ranks with a minimum of 1. Particle updates are
@@ -87,6 +96,33 @@ type Config struct {
 	// /metrics endpoint — independently of Telemetry, so a capped or
 	// disabled timeline still feeds live gauges.
 	Live *telemetry.Live
+}
+
+// Transport names accepted by Config.Transport (and picrun -transport).
+const (
+	TransportInproc = "inproc"
+	TransportTCP    = "tcp"
+	TransportUnix   = "unix"
+)
+
+// ResolveTransport returns the effective transport name: the explicit
+// setting if any, else the PICPRK_TRANSPORT environment variable, else
+// in-process.
+func (cfg *Config) ResolveTransport() string {
+	if cfg.Transport != "" {
+		return cfg.Transport
+	}
+	if env := os.Getenv("PICPRK_TRANSPORT"); env != "" {
+		return env
+	}
+	return TransportInproc
+}
+
+// WorldOptions returns the comm.Options a run with this Config uses, for
+// callers (picrun workers) that construct the World themselves and hand it
+// to Engine.RunWorld.
+func (cfg *Config) WorldOptions() comm.Options {
+	return comm.Options{ChaosDelay: cfg.Chaos, ChaosSeed: int64(cfg.Seed)}
 }
 
 // effectiveWorkers resolves the per-rank move worker count.
@@ -123,6 +159,12 @@ func (cfg *Config) validate(p int) error {
 	}
 	if cfg.TelemetryCap < 0 {
 		return fmt.Errorf("driver: negative telemetry ring cap %d", cfg.TelemetryCap)
+	}
+	switch tr := cfg.ResolveTransport(); tr {
+	case TransportInproc, TransportTCP, TransportUnix:
+	default:
+		return fmt.Errorf("driver: unknown transport %q (want %s, %s or %s)",
+			tr, TransportInproc, TransportTCP, TransportUnix)
 	}
 	if err := cfg.Schedule.Validate(cfg.Mesh); err != nil {
 		return err

@@ -1,10 +1,12 @@
 package driver
 
 import (
+	"sync"
 	"time"
 
 	"github.com/parres/picprk/internal/balance"
 	"github.com/parres/picprk/internal/comm"
+	"github.com/parres/picprk/internal/comm/wire"
 	"github.com/parres/picprk/internal/particle"
 	"github.com/parres/picprk/internal/telemetry"
 	"github.com/parres/picprk/internal/trace"
@@ -70,14 +72,33 @@ type Engine struct {
 	Balancer func() balance.Balancer
 }
 
-// Run executes the engine on p goroutine ranks and returns rank 0's result.
+// Run executes the engine on p ranks and returns rank 0's result. The
+// transport resolved from Cfg decides the substrate: in-process goroutine
+// ranks by default, or one wire node per rank over loopback sockets for
+// "tcp"/"unix" — the latter exercises the full serialize/frame/deserialize
+// path and must produce bitwise-identical results.
 func (e *Engine) Run(p int) (*Result, error) {
 	if err := e.Cfg.validate(p); err != nil {
 		return nil, err
 	}
+	switch tr := e.Cfg.ResolveTransport(); tr {
+	case TransportInproc:
+		return e.RunWorld(comm.NewWorld(p, e.Cfg.WorldOptions()))
+	default:
+		return e.runWire(tr, p)
+	}
+}
+
+// RunWorld executes the engine's rank pipeline on an already-constructed
+// world — the entry point for picrun worker processes, whose world wraps a
+// wire node joined to a remote rendezvous. It returns rank 0's result, or
+// nil when this world does not host rank 0 (a worker's normal exit).
+func (e *Engine) RunWorld(w *comm.World) (*Result, error) {
+	if err := e.Cfg.validate(w.Size()); err != nil {
+		return nil, err
+	}
 	var res *Result
 	var resErr error
-	w := comm.NewWorld(p, comm.Options{ChaosDelay: e.Cfg.Chaos, ChaosSeed: int64(e.Cfg.Seed)})
 	start := time.Now()
 	err := w.Run(func(c *comm.Comm) error {
 		r, err := e.runRank(c)
@@ -92,9 +113,38 @@ func (e *Engine) Run(p int) (*Result, error) {
 	if resErr != nil {
 		return nil, resErr
 	}
+	if res == nil {
+		return nil, nil
+	}
 	res.Name = e.Name
 	res.Elapsed = time.Since(start)
 	return res, nil
+}
+
+// runWire runs the engine over a loopback socket cluster: p wire nodes in
+// this process, one rank each, every payload crossing a real socket.
+func (e *Engine) runWire(network string, p int) (*Result, error) {
+	nodes, err := wire.LoopbackCluster(network, p)
+	if err != nil {
+		return nil, err
+	}
+	results := make([]*Result, p)
+	errs := make([]error, p)
+	var wg sync.WaitGroup
+	wg.Add(p)
+	for i, n := range nodes {
+		go func(i int, n *wire.Node) {
+			defer wg.Done()
+			results[i], errs[i] = e.RunWorld(comm.NewTransportWorld(n, e.Cfg.WorldOptions()))
+		}(i, n)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results[0], nil
 }
 
 // runRank is the per-rank step pipeline shared by every driver.

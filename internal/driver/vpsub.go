@@ -210,17 +210,29 @@ func (s *vpSubstrate) Exchange(rec *trace.Recorder) error {
 		s.sendPtrs = make([]*[]vpColParcel, p)
 		s.recvPtrs = make([]*[]vpColParcel, p)
 	}
+	onWire := s.c.OnWire()
 	for dst := range lists {
 		if dst == me || len(lists[dst]) == 0 {
 			s.sendPtrs[dst] = nil
 			continue
 		}
 		s.sendPtrs[dst] = &lists[dst]
-		for _, pc := range lists[dst] {
-			s.xbytes += pc.Cols.FramedBytes()
+		if !onWire {
+			for _, pc := range lists[dst] {
+				s.xbytes += pc.Cols.FramedBytes()
+			}
 		}
 	}
+	// Estimated framed size in-process, measured transport delta on the
+	// wire (see blockSubstrate.Exchange for the rationale).
+	var wireBase int64
+	if onWire {
+		wireBase = s.c.TransportBytes()
+	}
 	comm.ExchangePtr(s.c, s.sendPtrs, s.recvPtrs)
+	if onWire {
+		s.xbytes += s.c.TransportBytes() - wireBase
+	}
 	for src := 0; src < p; src++ {
 		var parcels []vpColParcel
 		if src == me {

@@ -41,16 +41,24 @@ func (p WorkStealParams) Validate() error {
 // each steals VPs from the currently heaviest core, bounding migration
 // volume by the number of hungry cores per round.
 func RunWorkSteal(p int, cfg Config, params WorkStealParams) (*Result, error) {
+	eng, err := NewWorkStealEngine(cfg, params)
+	if err != nil {
+		return nil, err
+	}
+	return eng.Run(p)
+}
+
+// NewWorkStealEngine builds the work-stealing engine without running it.
+func NewWorkStealEngine(cfg Config, params WorkStealParams) (*Engine, error) {
 	if err := params.Validate(); err != nil {
 		return nil, err
 	}
-	eng := &Engine{
+	return &Engine{
 		Name: "worksteal",
 		Cfg:  cfg,
 		Substrate: func(c *comm.Comm, cfg Config) (Substrate, error) {
 			return newVPSubstrate(c, cfg, params.Overdecompose)
 		},
 		Balancer: func() balance.Balancer { return balance.NewWorkStealBalancer(params.Threshold, params.Every) },
-	}
-	return eng.Run(p)
+	}, nil
 }

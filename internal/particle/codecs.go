@@ -1,0 +1,13 @@
+package particle
+
+import "github.com/parres/picprk/internal/pup"
+
+// KindParticles is the wire codec kind for []Particle (verification
+// gathers and checkpoint payloads).
+const KindParticles pup.Kind = 30
+
+func init() {
+	pup.RegisterCodec[[]Particle](KindParticles, func(p *pup.PUPer, v *[]Particle) {
+		pup.Slice(p, v, func(p *pup.PUPer, e *Particle) { e.PUP(p) })
+	})
+}

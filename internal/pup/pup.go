@@ -64,6 +64,16 @@ func (p *PUPer) Bytes() []byte { return p.buf }
 // Err returns the first error encountered (unpack overruns).
 func (p *PUPer) Err() error { return p.err }
 
+// Remaining reports the unread byte count during an unpacking pass (0 in
+// the other modes). Traversals that allocate from decoded lengths use it to
+// reject implausible counts before calling make.
+func (p *PUPer) Remaining() int {
+	if p.mode == Unpacking {
+		return len(p.buf) - p.off
+	}
+	return 0
+}
+
 // Done reports whether an unpacking pass consumed the whole buffer.
 func (p *PUPer) Done() bool { return p.mode == Unpacking && p.off == len(p.buf) && p.err == nil }
 
@@ -213,6 +223,34 @@ func (p *PUPer) String(v *string) {
 		b := p.raw(n)
 		if b != nil {
 			*v = string(b)
+		}
+	}
+}
+
+// ByteSlice serializes a []byte, length-prefixed. (Named to avoid the
+// Bytes accessor, which returns the packed buffer.)
+func (p *PUPer) ByteSlice(v *[]byte) {
+	n := len(*v)
+	p.Int(&n)
+	if p.err != nil {
+		return
+	}
+	switch p.mode {
+	case Sizing:
+		p.size += n
+	case Packing:
+		b := p.raw(n)
+		if b != nil {
+			copy(b, *v)
+		}
+	case Unpacking:
+		if n < 0 || n > len(p.buf) {
+			p.fail("implausible byte slice length %d", n)
+			return
+		}
+		b := p.raw(n)
+		if b != nil {
+			*v = append([]byte(nil), b...)
 		}
 	}
 }

@@ -1,0 +1,125 @@
+package pup
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+// testPair is a registered struct payload for round-trip tests.
+type testPair struct {
+	A int
+	B float64
+}
+
+// testKind* live in the test range (100–199).
+const (
+	testKindPair    Kind = 100
+	testKindPairPtr Kind = 101
+)
+
+func init() {
+	RegisterCodec[testPair](testKindPair, func(p *PUPer, v *testPair) {
+		p.Int(&v.A)
+		p.Float64(&v.B)
+	})
+	RegisterPtrCodec[testPair](testKindPairPtr, func(p *PUPer, v *testPair) {
+		p.Int(&v.A)
+		p.Float64(&v.B)
+	})
+}
+
+func roundTrip(t *testing.T, v any) any {
+	t.Helper()
+	body, kind, err := EncodePayload(nil, v)
+	if err != nil {
+		t.Fatalf("encode %T: %v", v, err)
+	}
+	got, err := DecodePayload(kind, body)
+	if err != nil {
+		t.Fatalf("decode %T: %v", v, err)
+	}
+	return got
+}
+
+func TestPayloadRoundTripBuiltins(t *testing.T) {
+	cases := []any{
+		true,
+		int(-42),
+		int64(-1 << 40),
+		uint64(1) << 63,
+		math.Copysign(0, -1), // -0.0 must survive bitwise
+		"hello wire",
+		[]byte{0, 1, 2, 255},
+		[]int{3, -4, 5},
+		[]int64{-9, 9},
+		[]uint64{1, 2, 3},
+		[]float64{1.5, -2.25, math.Inf(1)},
+		[]int32{-7, 7},
+		testPair{A: 7, B: 2.5},
+	}
+	for _, v := range cases {
+		got := roundTrip(t, v)
+		if !reflect.DeepEqual(got, v) {
+			t.Errorf("round trip %T: got %#v, want %#v", v, got, v)
+		}
+	}
+}
+
+func TestPayloadNil(t *testing.T) {
+	body, kind, err := EncodePayload(nil, nil)
+	if err != nil || kind != KindNil || len(body) != 0 {
+		t.Fatalf("nil encode: body=%v kind=%d err=%v", body, kind, err)
+	}
+	got, err := DecodePayload(KindNil, nil)
+	if err != nil || got != nil {
+		t.Fatalf("nil decode: got=%v err=%v", got, err)
+	}
+}
+
+func TestPayloadTypedNilPointer(t *testing.T) {
+	var p *testPair
+	got := roundTrip(t, p)
+	tp, ok := got.(*testPair)
+	if !ok || tp != nil {
+		t.Fatalf("typed nil pointer: got %#v (%T)", got, got)
+	}
+	// A non-nil pointer decodes to a fresh pointer with equal contents.
+	got = roundTrip(t, &testPair{A: 1, B: -1})
+	tp, ok = got.(*testPair)
+	if !ok || tp == nil || tp.A != 1 || tp.B != -1 {
+		t.Fatalf("pointer payload: got %#v (%T)", got, got)
+	}
+}
+
+func TestPayloadUnregisteredType(t *testing.T) {
+	type unregistered struct{ X int }
+	if _, _, err := EncodePayload(nil, unregistered{}); err == nil {
+		t.Fatal("encoding an unregistered type succeeded")
+	}
+	if _, err := DecodePayload(Kind(65535), nil); err == nil {
+		t.Fatal("decoding an unregistered kind succeeded")
+	}
+}
+
+func TestPayloadTrailingBytes(t *testing.T) {
+	body, kind, err := EncodePayload(nil, int(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodePayload(kind, append(body, 0)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+	if _, err := DecodePayload(kind, body[:len(body)-1]); err == nil {
+		t.Fatal("truncated body accepted")
+	}
+}
+
+func TestRegisterDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate kind registration did not panic")
+		}
+	}()
+	RegisterCodec[struct{ Y uint64 }](testKindPair, func(p *PUPer, v *struct{ Y uint64 }) { p.Uint64(&v.Y) })
+}
