@@ -66,6 +66,13 @@ func runBenchDiff(basePath, newPath string) error {
 				fmtBytes(br.ExchangedBytes), fmtBytes(nr.ExchangedBytes),
 				fmtBytes(br.MigratedBytes), fmtBytes(nr.MigratedBytes))
 		}
+		if br.OverlapNS > 0 || nr.OverlapNS > 0 {
+			// Overlap ratio: the fraction of total exchange time hidden behind
+			// interior compute by the tile pipeline. A drop means the pipeline
+			// lost effectiveness even if wall time held steady.
+			fmt.Printf("           overlap   %11.0f%% -> %11.0f%%\n",
+				100*br.overlapRatio(), 100*nr.overlapRatio())
+		}
 	}
 	return nil
 }

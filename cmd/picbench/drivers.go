@@ -45,6 +45,21 @@ type driverBenchResult struct {
 	// accounting, not an estimate.
 	ExchangedBytes int64 `json:"exchanged_bytes,omitempty"`
 	MigratedBytes  int64 `json:"migrated_bytes,omitempty"`
+	// OverlapNS is the exchange time hidden behind interior compute by the
+	// tile-pipelined step over the last timed run, summed over ranks. The
+	// overlap ratio OverlapNS/(OverlapNS + exchange phase time) is the
+	// pipeline's effectiveness: 0 means fully exposed, 1 fully hidden.
+	OverlapNS int64 `json:"overlap_ns,omitempty"`
+}
+
+// overlapRatio returns the hidden fraction of the total exchange time
+// (overlap / (overlap + exposed)), or 0 when nothing was measured.
+func (r driverBenchResult) overlapRatio() float64 {
+	exposed := r.PhaseNS[trace.Exchange.String()]
+	if r.OverlapNS <= 0 || r.OverlapNS+exposed <= 0 {
+		return 0
+	}
+	return float64(r.OverlapNS) / float64(r.OverlapNS+exposed)
 }
 
 // driverBenchReport is the BENCH_driver.json schema.
@@ -53,6 +68,7 @@ type driverBenchReport struct {
 	GoMaxProcs int                 `json:"gomaxprocs"`
 	Ranks      int                 `json:"ranks"`
 	Workers    int                 `json:"workers"`
+	Tile       int                 `json:"tile,omitempty"`
 	Transport  string              `json:"transport,omitempty"`
 	L          int                 `json:"l"`
 	N          int                 `json:"n"`
@@ -62,7 +78,7 @@ type driverBenchReport struct {
 
 // driverBenchConfig mirrors benchConfig in the root package's bench_test.go
 // so the JSON numbers and `go test -bench Driver` measure the same workload.
-func driverBenchConfig(workers int, transport string) (driver.Config, error) {
+func driverBenchConfig(workers, tile int, transport string) (driver.Config, error) {
 	mesh, err := grid.NewMesh(64, grid.DefaultCharge)
 	if err != nil {
 		return driver.Config{}, err
@@ -70,7 +86,7 @@ func driverBenchConfig(workers int, transport string) (driver.Config, error) {
 	return driver.Config{
 		Mesh: mesh, N: 20000, Steps: 50,
 		Dist: dist.Geometric{R: 0.92}, Seed: 5,
-		Workers: workers, Transport: transport,
+		Workers: workers, Tile: tile, Transport: transport,
 	}, nil
 }
 
@@ -78,8 +94,8 @@ func driverBenchConfig(workers int, transport string) (driver.Config, error) {
 // path. When timelineDir is non-empty, each driver additionally does one
 // telemetry-enabled run (outside the timed loop, so sampling cannot skew
 // ns/op or allocs/op) and writes TIMELINE_<driver>.jsonl there.
-func runDriverBench(ranks, workers int, transport, path, timelineDir string) error {
-	cfg, err := driverBenchConfig(workers, transport)
+func runDriverBench(ranks, workers, tile int, transport, path, timelineDir string) error {
+	cfg, err := driverBenchConfig(workers, tile, transport)
 	if err != nil {
 		return err
 	}
@@ -106,6 +122,7 @@ func runDriverBench(ranks, workers int, transport, path, timelineDir string) err
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		Ranks:      ranks,
 		Workers:    workers,
+		Tile:       tile,
 		Transport:  transport,
 		L:          cfg.Mesh.L,
 		N:          cfg.N,
@@ -156,12 +173,13 @@ func runDriverBench(ranks, workers int, transport, path, timelineDir string) err
 			for _, s := range last.PerRank {
 				res.ExchangedBytes += s.BytesExchanged
 				res.MigratedBytes += s.BytesMigrated
+				res.OverlapNS += s.Overlap.Nanoseconds()
 			}
 		}
 		rep.Results = append(rep.Results, res)
-		fmt.Printf("%-10s %12d ns/op %12d allocs/op %10.1fM particle-steps/s  xchg %s\n",
+		fmt.Printf("%-10s %12d ns/op %12d allocs/op %10.1fM particle-steps/s  xchg %s  overlap %4.0f%%\n",
 			d.name, res.NsPerOp, res.AllocsPerOp, res.ParticleStepsPerSec/1e6,
-			fmtBytes(res.ExchangedBytes))
+			fmtBytes(res.ExchangedBytes), 100*res.overlapRatio())
 	}
 
 	data, err := json.MarshalIndent(rep, "", "  ")

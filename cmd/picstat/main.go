@@ -86,6 +86,18 @@ func printReport(tl *telemetry.Timeline, top, rows int) {
 		}
 		fmt.Printf("  %-9s %12v  %5.1f%%\n", p, totals[p].Round(time.Microsecond), pct)
 	}
+	var overlap time.Duration
+	for _, st := range ss {
+		overlap += st.Overlap
+	}
+	if overlap > 0 {
+		// Overlap is not a phase of its own — the time is already inside
+		// compute — so it reports as the fraction of the total exchange the
+		// tile pipeline hid behind interior work.
+		hidden := 100 * float64(overlap) / float64(overlap+totals[trace.Exchange])
+		fmt.Printf("  overlap   %12v  (%.0f%% of exchange hidden behind compute)\n",
+			overlap.Round(time.Microsecond), hidden)
+	}
 
 	fmt.Println("\nimbalance over time (per-rank particle loads):")
 	fmt.Printf("  %6s  %9s  %9s  %7s  %6s  %s\n", "step", "max", "mean", "imb", "gini", "decision")
@@ -111,13 +123,14 @@ func printReport(tl *telemetry.Timeline, top, rows int) {
 		xbytes, mbytes)
 
 	fmt.Printf("\nworst %d step(s) by wall time (slowest rank sets the pace):\n", min(top, len(ss)))
-	fmt.Printf("  %6s  %10s  %10s  %10s  %10s  %10s  %7s\n",
-		"step", "wall", trace.Compute, trace.Exchange, trace.Balance, trace.Migrate, "imb")
+	fmt.Printf("  %6s  %10s  %10s  %10s  %10s  %10s  %10s  %7s\n",
+		"step", "wall", trace.Compute, trace.Exchange, "overlap", trace.Balance, trace.Migrate, "imb")
 	for _, st := range telemetry.WorstSteps(ss, top) {
-		fmt.Printf("  %6d  %10v  %10v  %10v  %10v  %10v  %7.3f\n",
+		fmt.Printf("  %6d  %10v  %10v  %10v  %10v  %10v  %10v  %7.3f\n",
 			st.Step, st.Wall.Round(time.Microsecond),
 			st.Phases[trace.Compute].Round(time.Microsecond),
 			st.Phases[trace.Exchange].Round(time.Microsecond),
+			st.Overlap.Round(time.Microsecond),
 			st.Phases[trace.Balance].Round(time.Microsecond),
 			st.Phases[trace.Migrate].Round(time.Microsecond),
 			st.Load.Imbalance)

@@ -11,6 +11,9 @@ import (
 // VP is one virtual processor: a migratable unit of work and data. The
 // application defines the concrete type; the runtime only needs its
 // identity, its measured load, and the ability to PUP its entire state.
+// Arrivals may unpack into a recycled shell of a previously departed VP
+// rather than a fresh factory product, so a VP's PUP routine must fully
+// overwrite its state when unpacking.
 type VP interface {
 	// VPID returns the VP's global id in [0, NumVPs).
 	VPID() int
@@ -36,8 +39,16 @@ type Runtime struct {
 	location []int
 	local    map[int]VP
 	// ids caches the sorted local VP ids (LocalIDs is on the per-step hot
-	// path); nil means stale, rebuilt lazily and invalidated by Migrate.
-	ids []int
+	// path); rebuilt lazily into the same buffer and invalidated by Migrate.
+	ids      []int
+	idsValid bool
+	// free holds shells of departed VPs; arrivals unpack into one instead
+	// of a fresh factory product, so their retained buffer capacities keep
+	// steady-state migration off the allocator. Bounded by the number of
+	// VPs this core has ever hosted.
+	free []VP
+	// loads is the reused local input vector for MeasureLoads.
+	loads []float64
 
 	// Stats accumulates migration counters for this core.
 	Stats Stats
@@ -98,12 +109,13 @@ func (rt *Runtime) Local(vp int) VP { return rt.local[vp] }
 // returned slice is shared and valid until the next Migrate call; callers
 // must not modify or retain it across migrations.
 func (rt *Runtime) LocalIDs() []int {
-	if rt.ids == nil {
-		rt.ids = make([]int, 0, len(rt.local))
+	if !rt.idsValid {
+		rt.ids = rt.ids[:0]
 		for id := range rt.local {
 			rt.ids = append(rt.ids, id)
 		}
 		sort.Ints(rt.ids)
+		rt.idsValid = true
 	}
 	return rt.ids
 }
@@ -122,11 +134,18 @@ func (rt *Runtime) ForEach(fn func(vp VP)) {
 // mandatory collective whether or not anything subsequently moves.
 func (rt *Runtime) MeasureLoads() []float64 {
 	rt.Stats.LBInvocations++
-	loads := make([]float64, rt.nvp)
-	for id, vp := range rt.local {
-		loads[id] = vp.Load()
+	if rt.loads == nil {
+		rt.loads = make([]float64, rt.nvp)
 	}
-	return comm.Allreduce(rt.c, loads, comm.Sum[float64])
+	for i := range rt.loads {
+		rt.loads[i] = 0
+	}
+	for id, vp := range rt.local {
+		rt.loads[id] = vp.Load()
+	}
+	// Allreduce copies its input before sending, so the reused local vector
+	// never escapes; the returned global vector is freshly owned.
+	return comm.Allreduce(rt.c, rt.loads, comm.Sum[float64])
 }
 
 // Locations returns a copy of the VP-to-core owner table.
@@ -166,6 +185,7 @@ func (rt *Runtime) Migrate(newOwner []int) (int, error) {
 			}
 			rt.c.Send(to, tagMigrateBase+vp, buf)
 			delete(rt.local, vp)
+			rt.free = append(rt.free, v)
 			rt.Stats.VPsSent++
 			rt.Stats.BytesSent += int64(len(buf))
 		}
@@ -177,7 +197,14 @@ func (rt *Runtime) Migrate(newOwner []int) (int, error) {
 		}
 		data, _ := rt.c.Recv(from, tagMigrateBase+vp)
 		buf := data.([]byte)
-		v := rt.factory()
+		var v VP
+		if n := len(rt.free); n > 0 {
+			v = rt.free[n-1]
+			rt.free[n-1] = nil
+			rt.free = rt.free[:n-1]
+		} else {
+			v = rt.factory()
+		}
 		if err := pup.Unpack(v, buf); err != nil {
 			return 0, fmt.Errorf("ampi: unpacking VP %d: %w", vp, err)
 		}
@@ -189,7 +216,7 @@ func (rt *Runtime) Migrate(newOwner []int) (int, error) {
 		rt.Stats.BytesReceived += int64(len(buf))
 	}
 	rt.location = append(rt.location[:0], newOwner...)
-	rt.ids = nil // the local set changed; LocalIDs rebuilds lazily
+	rt.idsValid = false // the local set changed; LocalIDs rebuilds lazily
 	return moves, nil
 }
 

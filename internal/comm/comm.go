@@ -265,7 +265,12 @@ type Comm struct {
 	sparseSeq uint64
 	gatherSeq uint64
 	xchgSeq   uint64
-	chaos     *rand.Rand
+	// xchgOpen is set between ExchangePtrStart and ExchangePtrFinish;
+	// xchgTag is the open exchange's tag, so Finish matches the Start it
+	// pairs with even if other traffic interleaves.
+	xchgOpen bool
+	xchgTag  int
+	chaos    *rand.Rand
 }
 
 // Rank returns the caller's rank within the communicator.

@@ -38,19 +38,56 @@ const tagXchgBase = -5000000
 // never overwrites a buffer a peer might still read, even under chaos-mode
 // delivery delays. This argument needs every rank to hear from every other
 // rank each call — do not "optimize" away the nil sends.
+// "Completes" above means the ExchangePtrFinish half returns: ExchangePtr
+// is the composition of ExchangePtrStart (all sends — asynchronous, never
+// blocks) and ExchangePtrFinish (all receives). Splitting them lets a
+// caller initiate the exchange as soon as its outgoing payloads are ready
+// and compute while the messages are in flight; the double-buffering
+// contract is unchanged because it is defined in terms of the caller's next
+// *completed* exchange.
 func ExchangePtr[T any](c *Comm, send, recv []*T) {
+	ExchangePtrStart(c, send)
+	ExchangePtrFinish(c, send, recv)
+}
+
+// ExchangePtrStart initiates an exchange: it posts the send to every other
+// rank (Send is asynchronous, so Start never blocks) and marks the exchange
+// open. Exactly one ExchangePtrFinish must follow on this communicator
+// before any other exchange starts; the payloads handed over — including
+// send itself — must not be mutated until that Finish returns.
+func ExchangePtrStart[T any](c *Comm, send []*T) {
+	p := c.Size()
+	if len(send) != p {
+		panic("comm: ExchangePtr send length must equal communicator size")
+	}
+	if c.xchgOpen {
+		panic("comm: ExchangePtrStart with a previous exchange still open")
+	}
+	c.xchgSeq++
+	c.xchgTag = tagXchgBase - int(c.xchgSeq%1000000)
+	c.xchgOpen = true
+	for i := 1; i < p; i++ {
+		c.Send((c.rank+i)%p, c.xchgTag, send[(c.rank+i)%p])
+	}
+}
+
+// ExchangePtrFinish completes the exchange opened by ExchangePtrStart:
+// recv[j] is filled with the pointer received from rank j (and recv[rank]
+// with send[rank], transferred locally). send must be the same slice passed
+// to Start.
+func ExchangePtrFinish[T any](c *Comm, send, recv []*T) {
 	p := c.Size()
 	if len(send) != p || len(recv) != p {
 		panic("comm: ExchangePtr send/recv length must equal communicator size")
 	}
-	c.xchgSeq++
-	tag := tagXchgBase - int(c.xchgSeq%1000000)
+	if !c.xchgOpen {
+		panic("comm: ExchangePtrFinish without a matching ExchangePtrStart")
+	}
+	c.xchgOpen = false
 	recv[c.rank] = send[c.rank]
 	for i := 1; i < p; i++ {
-		dst := (c.rank + i) % p
 		src := (c.rank - i + p) % p
-		c.Send(dst, tag, send[dst])
-		data, _ := c.Recv(src, tag)
+		data, _ := c.Recv(src, c.xchgTag)
 		recv[src] = cast[*T](data, "ExchangePtr")
 	}
 }

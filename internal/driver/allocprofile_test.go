@@ -1,0 +1,125 @@
+package driver
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/parres/picprk/internal/balance"
+	"github.com/parres/picprk/internal/comm"
+	"github.com/parres/picprk/internal/diffusion"
+	"github.com/parres/picprk/internal/dist"
+	"github.com/parres/picprk/internal/grid"
+)
+
+// benchRunConfig mirrors cmd/picbench's driver-bench scenario so the
+// full-run allocation numbers here track the committed BENCH_driver.json.
+func benchRunConfig(b *testing.B) Config {
+	m, err := grid.NewMesh(64, grid.DefaultCharge)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return Config{
+		Mesh: m, N: 20000, Steps: 50,
+		Dist: dist.Geometric{R: 0.92},
+		Seed: 5,
+	}
+}
+
+// TestMigrateSteadyStateAllocs pins the cost class of VP migration: once the
+// runtime's shell freelist and the column-wise PUP buffers are warm, moving a
+// VP costs O(1) allocations (the pack buffer and its send envelope), not
+// O(particles). The bound is deliberately loose — the pin is against a
+// regression to per-particle staging (which costs tens of allocations per
+// move), not against the exact constant. Rank 0 measures process-global
+// mallocs while rank 1 runs the same ping-pong in lockstep.
+func TestMigrateSteadyStateAllocs(t *testing.T) {
+	cfg := testConfig(t, 16, 4000, 0)
+	cfg.Verify = false
+	cfg.Dist = nil
+	const runs = 5
+	w := comm.NewWorld(2)
+	err := w.Run(func(c *comm.Comm) error {
+		s, err := newVPSubstrate(c, cfg, 4)
+		if err != nil {
+			return err
+		}
+		defer s.Close()
+		home := s.rt.Locations()
+		away := s.rt.Locations()
+		for vp, owner := range away {
+			if owner == 0 {
+				away[vp] = 1 // ping-pong one VP between the two cores
+				break
+			}
+		}
+		cycle := func() {
+			if _, err := s.Execute(balance.Plan{Owner: away}); err != nil {
+				panic(err)
+			}
+			if _, err := s.Execute(balance.Plan{Owner: home}); err != nil {
+				panic(err)
+			}
+		}
+		for i := 0; i < 3; i++ {
+			cycle() // warm the shells and the reused buffers on both cores
+		}
+		if c.Rank() == 0 {
+			if avg := testing.AllocsPerRun(runs, cycle); avg > 16 {
+				return fmt.Errorf("steady-state migrate ping-pong: %v allocs/cycle, want <= 16", avg)
+			}
+		} else {
+			for i := 0; i < runs+1; i++ {
+				cycle()
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// BenchmarkFullRun measures a complete driver run — world construction,
+// initialization, 50 steps with balancing, verification gather — for each
+// driver at 4 ranks. allocs/op is the whole-run allocation budget the
+// shaving work drives down; per-step steady-state allocations are pinned at
+// zero separately (TestSteadyStateStepAllocationFree).
+func BenchmarkFullRun(b *testing.B) {
+	const p = 4
+	b.Run("baseline", func(b *testing.B) {
+		cfg := benchRunConfig(b)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := RunBaseline(p, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("diffusion", func(b *testing.B) {
+		cfg := benchRunConfig(b)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := RunDiffusion(p, cfg, diffusion.Params{Every: 5, Threshold: 0.05, Width: 2, MinWidth: 3}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("ampi", func(b *testing.B) {
+		cfg := benchRunConfig(b)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := RunAMPI(p, cfg, AMPIParams{Overdecompose: 4, Every: 10}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("worksteal", func(b *testing.B) {
+		cfg := benchRunConfig(b)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := RunWorkSteal(p, cfg, WorkStealParams{Overdecompose: 4, Every: 10}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

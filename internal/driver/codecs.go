@@ -77,6 +77,7 @@ func pupSample(p *pup.PUPer, s *telemetry.Sample) {
 	p.Int(&s.Migrations)
 	pupInt64(p, &s.Bytes)
 	pupInt64(p, &s.ExchangeBytes)
+	pupDuration(p, &s.ExchangeOverlap)
 	p.String(&s.Decision)
 }
 
@@ -91,6 +92,7 @@ func pupRankStats(p *pup.PUPer, s *RankStats) {
 	pupDuration(p, &s.Exchange)
 	pupDuration(p, &s.Balance)
 	pupDuration(p, &s.Migrate)
+	pupDuration(p, &s.Overlap)
 	p.Int(&s.FinalParticles)
 	p.Int(&s.MaxParticles)
 	p.Int(&s.Migrations)

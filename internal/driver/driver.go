@@ -83,6 +83,17 @@ type Config struct {
 	// default, GOMAXPROCS/ranks with a minimum of 1. Particle updates are
 	// independent, so results are bitwise identical at any worker count.
 	Workers int
+	// Tile controls the tile-pipelined step: each rank's sub-domain splits
+	// into boundary tiles (cells within one step's displacement of remote
+	// territory) and interior tiles of Tile×Tile cells; boundary tiles move
+	// first and their leavers go on the wire while the interior tiles are
+	// still computing. 0 selects the default tile edge (DefaultTile); a
+	// positive value sets the interior tile edge in cells (a value covering
+	// the whole sub-domain degenerates to one boundary + one interior
+	// tile); -1 disables the pipeline and runs the move and the exchange
+	// strictly in sequence, as before. Results are bitwise identical at any
+	// setting.
+	Tile int
 	// Telemetry enables the per-step timeline: every rank records one
 	// telemetry.Sample per step and rank 0's Result carries the merged
 	// Timeline. Off by default; the steady-state step then stays
@@ -137,6 +148,52 @@ func (cfg *Config) effectiveWorkers(ranks int) int {
 	return w
 }
 
+// DefaultTile is the interior tile edge used when Config.Tile is 0.
+const DefaultTile = 8
+
+// effectiveTile resolves the tile edge (0 when the pipeline is disabled).
+func (cfg *Config) effectiveTile() int {
+	switch {
+	case cfg.Tile == -1:
+		return 0
+	case cfg.Tile == 0:
+		return DefaultTile
+	default:
+		return cfg.Tile
+	}
+}
+
+// ringWidths returns the per-axis displacement ring of the run: the maximum
+// distance, in cells, any particle can travel in one step. The closed-form
+// trajectories (core/verify.go) move a particle exactly (2K+1) cells in x
+// and M cells in y per step, so the ring is exact, not an estimate;
+// injected particles carry their event's own K and M, so the ring maxes
+// over the schedule too. The tile pipeline uses it to decide which cells
+// can reach remote territory within a step.
+func (cfg *Config) ringWidths() (rx, ry int) {
+	rx = 2*cfg.K + 1
+	ry = cfg.M
+	if ry < 0 {
+		ry = -ry
+	}
+	for _, ev := range cfg.Schedule {
+		if ev.Inject <= 0 {
+			continue
+		}
+		if w := 2*ev.K + 1; w > rx {
+			rx = w
+		}
+		h := ev.M
+		if h < 0 {
+			h = -h
+		}
+		if h > ry {
+			ry = h
+		}
+	}
+	return rx, ry
+}
+
 func (cfg *Config) distConfig() dist.Config {
 	return dist.Config{
 		Mesh: cfg.Mesh, N: cfg.N, K: cfg.K, M: cfg.M,
@@ -156,6 +213,9 @@ func (cfg *Config) validate(p int) error {
 	}
 	if cfg.Workers < 0 {
 		return fmt.Errorf("driver: negative move worker count %d", cfg.Workers)
+	}
+	if cfg.Tile < -1 {
+		return fmt.Errorf("driver: invalid tile size %d (want -1, 0 or a positive edge)", cfg.Tile)
 	}
 	if cfg.TelemetryCap < 0 {
 		return fmt.Errorf("driver: negative telemetry ring cap %d", cfg.TelemetryCap)
@@ -179,6 +239,11 @@ type RankStats struct {
 	// moves, particle exchange, LB decisions (reductions + planning), and
 	// LB data movement (mesh or VP migration).
 	Compute, Exchange, Balance, Migrate time.Duration
+	// Overlap is the exchange time hidden behind compute by the tile
+	// pipeline: wall time of interior-tile moves that ran while the
+	// boundary exchange was in flight. It is included in Compute (the time
+	// was spent computing); Exchange holds only the exposed remainder.
+	Overlap time.Duration
 	// FinalParticles is the local particle count at the end of the run;
 	// MaxParticles the high-water mark over all steps (§V-B metric).
 	FinalParticles, MaxParticles int
@@ -452,6 +517,7 @@ func collectResult(c *comm.Comm, name string, cfg Config, rec *trace.Recorder, n
 		Exchange:       rec.Get(trace.Exchange),
 		Balance:        rec.Get(trace.Balance),
 		Migrate:        rec.Get(trace.Migrate),
+		Overlap:        rec.Overlap(),
 		FinalParticles: nLocal,
 		MaxParticles:   rec.MaxParticles,
 		Migrations:     migrations,

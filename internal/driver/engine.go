@@ -25,6 +25,13 @@ type Substrate interface {
 	// Exchange delivers boundary-crossing particles to their owners. It is
 	// collective and accounts its time as trace.Exchange on rec.
 	Exchange(rec *trace.Recorder) error
+	// MoveExchange runs the fused tile-pipelined step: boundary particles
+	// move first and their leavers go on the wire, interior particles move
+	// while the exchange is in flight. Results are bitwise identical to
+	// Move followed by Exchange; with Config.Tile == -1 it falls back to
+	// exactly that sequence. Compute/Exchange time splits are accounted on
+	// rec, plus the overlap credit (rec.AddOverlap).
+	MoveExchange(rec *trace.Recorder) error
 	// ApplyEvents fires the injection/removal events scheduled for step.
 	ApplyEvents(es *eventState, step int)
 	// Count returns the local particle count.
@@ -184,12 +191,7 @@ func (e *Engine) runRank(c *comm.Comm) (*Result, error) {
 			rec.StartStep()
 		}
 		decision := ""
-		// Timed inline (no closure) so the steady-state step stays
-		// allocation-free.
-		moveStart := time.Now()
-		sub.Move()
-		rec.Add(trace.Compute, time.Since(moveStart))
-		if err := sub.Exchange(rec); err != nil {
+		if err := sub.MoveExchange(rec); err != nil {
 			return nil, err
 		}
 		sub.ApplyEvents(&es, step)
@@ -238,14 +240,15 @@ func (e *Engine) runRank(c *comm.Comm) (*Result, error) {
 			migrations, bytes := sub.MigrationStats()
 			xbytes := sub.ExchangeBytes()
 			s := telemetry.Sample{
-				Step:          step,
-				Rank:          c.Rank(),
-				Phases:        rec.Snapshot(),
-				Particles:     sub.Count(),
-				Migrations:    migrations - prevMigrations,
-				Bytes:         bytes - prevBytes,
-				ExchangeBytes: xbytes - prevXBytes,
-				Decision:      decision,
+				Step:            step,
+				Rank:            c.Rank(),
+				Phases:          rec.Snapshot(),
+				Particles:       sub.Count(),
+				Migrations:      migrations - prevMigrations,
+				Bytes:           bytes - prevBytes,
+				ExchangeBytes:   xbytes - prevXBytes,
+				ExchangeOverlap: rec.SnapshotOverlap(),
+				Decision:        decision,
 			}
 			prevMigrations, prevBytes, prevXBytes = migrations, bytes, xbytes
 			ring.Append(s)

@@ -20,7 +20,7 @@ import (
 // static rectangular subdomain with its materialized mesh block and the
 // particles currently inside it, stored SoA for the move kernel. Migration
 // PUPs the entire state — particles and grid data — mirroring the paper's
-// PUP routines (particles travel in AoS form on the wire).
+// PUP routines.
 type picVP struct {
 	id     int
 	mesh   grid.Mesh
@@ -28,9 +28,9 @@ type picVP struct {
 	nx, ny int
 	block  *grid.Block
 	soa    *core.SoA
-	// scratch is the reused AoS conversion buffer for packing; it is not
-	// part of the PUPed state.
-	scratch []particle.Particle
+	// gdata is the reused grid-data staging buffer for pack and unpack; it
+	// is not part of the PUPed state.
+	gdata []float64
 }
 
 // VPID implements ampi.VP.
@@ -39,7 +39,10 @@ func (v *picVP) VPID() int { return v.id }
 // Load implements ampi.VP: work is exactly proportional to particle count.
 func (v *picVP) Load() float64 { return float64(v.soa.Len()) }
 
-// PUP implements pup.PUPable.
+// PUP implements pup.PUPable. Particles travel column-wise: the SoA slices
+// serialize directly, with no AoS staging, and unpacking resizes into
+// whatever storage the shell still holds — a recycled shell (the runtime's
+// freelist) makes steady-state migration nearly allocation-free.
 func (v *picVP) PUP(p *pup.PUPer) {
 	p.Int(&v.id)
 	p.Int(&v.mesh.L)
@@ -48,23 +51,40 @@ func (v *picVP) PUP(p *pup.PUPer) {
 	p.Int(&v.y0)
 	p.Int(&v.nx)
 	p.Int(&v.ny)
-	var data []float64
-	var ps []particle.Particle
 	if p.Mode() != pup.Unpacking {
-		data = v.block.OwnedData()
-		v.scratch = v.soa.AppendParticles(v.scratch[:0])
-		ps = v.scratch
+		v.gdata = v.block.AppendOwnedData(v.gdata[:0])
 	}
-	p.Float64s(&data)
-	pup.Slice(p, &ps, func(p *pup.PUPer, e *particle.Particle) { e.PUP(p) })
+	p.Float64s(&v.gdata)
+	if v.soa == nil {
+		v.soa = &core.SoA{}
+	}
+	p.Float64s(&v.soa.X)
+	p.Float64s(&v.soa.Y)
+	p.Float64s(&v.soa.VX)
+	p.Float64s(&v.soa.VY)
+	p.Float64s(&v.soa.Q)
+	pup.Slice(p, &v.soa.Meta, func(p *pup.PUPer, e *core.SoAMeta) {
+		p.Uint64(&e.ID)
+		p.Float64(&e.X0)
+		p.Float64(&e.Y0)
+		p.Int32(&e.K)
+		p.Int32(&e.M)
+		p.Int32(&e.Dir)
+		p.Int32(&e.Born)
+	})
 	if p.Mode() == pup.Unpacking && p.Err() == nil {
-		block, err := grid.NewBlockFromData(v.mesh, v.x0, v.y0, v.nx, v.ny, data)
-		if err != nil {
-			p.Fail(err)
+		n := len(v.soa.X)
+		if len(v.soa.Y) != n || len(v.soa.VX) != n || len(v.soa.VY) != n ||
+			len(v.soa.Q) != n || len(v.soa.Meta) != n {
+			p.Fail(fmt.Errorf("driver: VP %d migrated with ragged particle columns", v.id))
 			return
 		}
-		v.block = block
-		v.soa = core.NewSoA(ps)
+		if v.block == nil {
+			v.block = &grid.Block{}
+		}
+		if err := v.block.ReinitFromData(v.mesh, v.x0, v.y0, v.nx, v.ny, v.gdata); err != nil {
+			p.Fail(err)
+		}
 	}
 }
 
@@ -113,6 +133,21 @@ type vpSubstrate struct {
 
 	psScratch []particle.Particle
 	xbytes    int64
+
+	// Tile pipeline state (tileSize == 0 disables the pipeline). The VP
+	// substrate splits each VP's particles into an interior head and a
+	// frontier tail against a global frontier mask — a cell is frontier
+	// when one step could carry a particle from it into a VP hosted on
+	// another core — rather than tiling inside the (small) VP rectangles.
+	// frontier depends on VP placement and is rebuilt after every Migrate.
+	tileSize    int
+	rx, ry      int
+	frontier    core.Frontier
+	tid         []int32
+	pstarts     [3]int32
+	pcur        [2]int32
+	vni         []int
+	sortScratch *core.SoA
 }
 
 func newVPSubstrate(c *comm.Comm, cfg Config, overdecompose int) (*vpSubstrate, error) {
@@ -145,7 +180,14 @@ func newVPSubstrate(c *comm.Comm, cfg Config, overdecompose int) (*vpSubstrate, 
 			panic(err) // static decomposition of a validated mesh cannot fail
 		}
 		v := &picVP{id: vp, mesh: cfg.Mesh, x0: x0, y0: y0, nx: nx, ny: ny, block: block}
-		var ps []particle.Particle
+		n := 0
+		for i := range all {
+			cx, cy := cfg.Mesh.CellOf(all[i].X, all[i].Y)
+			if vg.OwnerOfCell(cx, cy) == vp {
+				n++
+			}
+		}
+		ps := make([]particle.Particle, 0, n)
 		for i := range all {
 			cx, cy := cfg.Mesh.CellOf(all[i].X, all[i].Y)
 			if vg.OwnerOfCell(cx, cy) == vp {
@@ -160,10 +202,27 @@ func newVPSubstrate(c *comm.Comm, cfg Config, overdecompose int) (*vpSubstrate, 
 		return nil, err
 	}
 	pool := core.NewMovePool(cfg.effectiveWorkers(c.Size()))
-	return &vpSubstrate{
+	s := &vpSubstrate{
 		c: c, cfg: cfg, vg: vg, rt: rt, pool: pool,
 		vot: core.NewOwnerTable(vg.X.Cuts, vg.Y.Cuts),
-	}, nil
+	}
+	s.tileSize = cfg.effectiveTile()
+	if s.tileSize > 0 {
+		s.rx, s.ry = cfg.ringWidths()
+		s.sortScratch = &core.SoA{}
+		s.rebuildFrontier()
+	}
+	return s, nil
+}
+
+// rebuildFrontier recomputes the frontier mask against the current VP
+// placement: remote means the owning VP is hosted on another core. Called
+// at construction and after every migration.
+func (s *vpSubstrate) rebuildFrontier() {
+	me := s.c.Rank()
+	s.frontier.Rebuild(s.vot, s.cfg.Mesh.L, s.rx, s.ry, func(o int32) bool {
+		return s.rt.Location(int(o)) != me
+	})
 }
 
 // Move implements Substrate: each local VP runs through the shared worker
@@ -188,15 +247,7 @@ func (s *vpSubstrate) Move() {
 func (s *vpSubstrate) Exchange(rec *trace.Recorder) error {
 	start := time.Now()
 	p, me := s.c.Size(), s.c.Rank()
-	lists := s.lists[s.lgen]
-	if len(lists) != p {
-		lists = make([][]vpColParcel, p)
-		s.lists[s.lgen] = lists
-	}
-	s.lgen = 1 - s.lgen
-	for i := range lists {
-		lists[i] = lists[i][:0]
-	}
+	lists := s.nextLists()
 	cols := s.cur
 	for vp := range cols {
 		sh := &cols[vp]
@@ -240,15 +291,179 @@ func (s *vpSubstrate) Exchange(rec *trace.Recorder) error {
 		} else if lp := s.recvPtrs[src]; lp != nil {
 			parcels = *lp
 		}
-		for _, pc := range parcels {
-			avp := s.rt.Local(pc.VP)
-			if avp == nil {
-				return fmt.Errorf("driver: parcel for VP %d arrived at core %d which does not host it", pc.VP, me)
-			}
-			avp.(*picVP).soa.AppendColumns(pc.Cols)
+		if err := s.deliverParcels(parcels); err != nil {
+			return err
 		}
 	}
 	rec.Add(trace.Exchange, time.Since(start))
+	return nil
+}
+
+// deliverParcels appends each parcel's columns to its destination VP.
+func (s *vpSubstrate) deliverParcels(parcels []vpColParcel) error {
+	for _, pc := range parcels {
+		avp := s.rt.Local(pc.VP)
+		if avp == nil {
+			return fmt.Errorf("driver: parcel for VP %d arrived at core %d which does not host it", pc.VP, s.c.Rank())
+		}
+		avp.(*picVP).soa.AppendColumns(pc.Cols)
+	}
+	return nil
+}
+
+// nextLists returns the older generation's per-core parcel lists, emptied.
+func (s *vpSubstrate) nextLists() [][]vpColParcel {
+	p := s.c.Size()
+	lists := s.lists[s.lgen]
+	if len(lists) != p {
+		lists = make([][]vpColParcel, p)
+		s.lists[s.lgen] = lists
+	}
+	s.lgen = 1 - s.lgen
+	for i := range lists {
+		lists[i] = lists[i][:0]
+	}
+	return lists
+}
+
+// MoveExchange implements Substrate: the tile-pipelined step on the
+// over-decomposed substrate. Each VP's particles are partitioned against
+// the global frontier mask into an interior head and a frontier tail
+// (per-cell, not per-VP — with over-decomposition most VPs touch a remote
+// core's territory somewhere, but only a band of their cells can actually
+// reach it in one step). The frontier tails of every local VP move first
+// and their leavers go on the wire; the interior heads move while the
+// parcels are in flight. Interior leavers are legal here — a particle may
+// hop to another VP hosted on this same core — but an interior leaver
+// bound for a remote core would mean the displacement ring is wrong, and
+// is a hard error: its shard may already be in flight.
+func (s *vpSubstrate) MoveExchange(rec *trace.Recorder) error {
+	if s.tileSize == 0 {
+		start := time.Now()
+		s.Move()
+		rec.Add(trace.Compute, time.Since(start))
+		return s.Exchange(rec)
+	}
+	mesh, p, me := s.cfg.Mesh, s.c.Size(), s.c.Rank()
+
+	// Wave 1: partition each VP and move its frontier tail.
+	t0 := time.Now()
+	cols := s.shards.next(s.rt.NumVPs())
+	s.cur = cols
+	ids := s.rt.LocalIDs()
+	if cap(s.vni) < len(ids) {
+		s.vni = make([]int, len(ids))
+	}
+	vni := s.vni[:len(ids)]
+	for k, id := range ids {
+		v := s.rt.Local(id).(*picVP)
+		n := v.soa.Len()
+		if cap(s.tid) < n {
+			s.tid = make([]int32, n)
+		}
+		tid := s.tid[:n]
+		for i := 0; i < n; i++ {
+			cx, cy := mesh.CellOf(v.soa.X[i], v.soa.Y[i])
+			if s.frontier.At(cx, cy) {
+				tid[i] = 1
+			} else {
+				tid[i] = 0
+			}
+		}
+		core.SortByTile(s.sortScratch, v.soa, tid, 2, s.pstarts[:], s.pcur[:])
+		v.soa, s.sortScratch = s.sortScratch, v.soa
+		vni[k] = int(s.pstarts[1])
+		s.pool.MoveClassifyRange(v.soa, vni[k], n, v.block, mesh, s.vot, int32(id), &s.lv)
+		v.soa.ScatterRemove(&s.lv, cols)
+	}
+	rec.Add(trace.Compute, time.Since(t0))
+
+	// Ship the remote-bound shards. Shards for VPs hosted on this core stay
+	// local and deliver after both waves (wave 2 may still add to them).
+	t1 := time.Now()
+	lists := s.nextLists()
+	for vp := range cols {
+		sh := &cols[vp]
+		if sh.Len() == 0 {
+			continue
+		}
+		if dst := s.rt.Location(vp); dst != me {
+			lists[dst] = append(lists[dst], vpColParcel{VP: vp, Cols: sh})
+		}
+	}
+	if len(s.sendPtrs) != p {
+		s.sendPtrs = make([]*[]vpColParcel, p)
+		s.recvPtrs = make([]*[]vpColParcel, p)
+	}
+	onWire := s.c.OnWire()
+	for dst := range lists {
+		if dst == me || len(lists[dst]) == 0 {
+			s.sendPtrs[dst] = nil
+			continue
+		}
+		s.sendPtrs[dst] = &lists[dst]
+		if !onWire {
+			for _, pc := range lists[dst] {
+				s.xbytes += pc.Cols.FramedBytes()
+			}
+		}
+	}
+	var wireBase int64
+	if onWire {
+		wireBase = s.c.TransportBytes()
+	}
+	comm.ExchangePtrStart(s.c, s.sendPtrs)
+	rec.Add(trace.Exchange, time.Since(t1))
+
+	// Wave 2: interior heads, overlapped with the in-flight exchange.
+	t2 := time.Now()
+	for k, id := range ids {
+		v := s.rt.Local(id).(*picVP)
+		s.pool.MoveClassifyRange(v.soa, 0, vni[k], v.block, mesh, s.vot, int32(id), &s.lv)
+		for w := 0; w < s.lv.Chunks(); w++ {
+			_, ds := s.lv.Chunk(w)
+			for _, d := range ds {
+				if s.rt.Location(int(d)) != me {
+					return fmt.Errorf("driver: interior particle of VP %d left for remote-hosted VP %d in one step (displacement ring rx=%d ry=%d violated)", id, d, s.rx, s.ry)
+				}
+			}
+		}
+		v.soa.ScatterRemove(&s.lv, cols)
+	}
+	d2 := time.Since(t2)
+	rec.Add(trace.Compute, d2)
+	if p > 1 {
+		rec.AddOverlap(d2)
+	}
+
+	// Finish: remote arrivals, then the local shards from both waves.
+	t3 := time.Now()
+	comm.ExchangePtrFinish(s.c, s.sendPtrs, s.recvPtrs)
+	if onWire {
+		s.xbytes += s.c.TransportBytes() - wireBase
+	}
+	for src := 0; src < p; src++ {
+		if src == me {
+			continue
+		}
+		if lp := s.recvPtrs[src]; lp != nil {
+			if err := s.deliverParcels(*lp); err != nil {
+				return err
+			}
+		}
+	}
+	for vp := range cols {
+		sh := &cols[vp]
+		if sh.Len() == 0 || s.rt.Location(vp) != me {
+			continue
+		}
+		avp := s.rt.Local(vp)
+		if avp == nil {
+			return fmt.Errorf("driver: local shard for VP %d on core %d which does not host it", vp, me)
+		}
+		avp.(*picVP).soa.AppendColumns(sh)
+	}
+	rec.Add(trace.Exchange, time.Since(t3))
 	return nil
 }
 
@@ -310,8 +525,14 @@ func (s *vpSubstrate) Execute(plan balance.Plan) (bool, error) {
 	if plan.Owner == nil {
 		return false, nil
 	}
-	_, err := s.rt.Migrate(plan.Owner)
-	return false, err
+	if _, err := s.rt.Migrate(plan.Owner); err != nil {
+		return false, err
+	}
+	// VP placement changed, so which cells can reach a remote core changed.
+	if s.tileSize > 0 {
+		s.rebuildFrontier()
+	}
+	return false, nil
 }
 
 // CheckOwnership implements Substrate: every particle must sit inside its

@@ -161,26 +161,35 @@ type Block struct {
 // [x0, x0+nx) and rows [y0, y0+ny), including the ghost ring. nx and ny
 // must be positive and no larger than L.
 func NewBlock(m Mesh, x0, y0, nx, ny int) (*Block, error) {
+	b := &Block{}
+	if err := b.Reinit(m, x0, y0, nx, ny); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// Reinit re-materializes the block in place for a new rectangle, reusing the
+// charge storage when its capacity suffices. Migration arrivals restore
+// recycled VP shells through it instead of allocating a fresh block.
+func (b *Block) Reinit(m Mesh, x0, y0, nx, ny int) error {
 	if nx <= 0 || ny <= 0 {
-		return nil, fmt.Errorf("grid: block dimensions must be positive, got %dx%d", nx, ny)
+		return fmt.Errorf("grid: block dimensions must be positive, got %dx%d", nx, ny)
 	}
 	if nx > m.L || ny > m.L {
-		return nil, fmt.Errorf("grid: block %dx%d exceeds domain %d", nx, ny, m.L)
+		return fmt.Errorf("grid: block %dx%d exceeds domain %d", nx, ny, m.L)
 	}
-	b := &Block{
-		mesh:    m,
-		X0:      WrapIndex(x0, m.L),
-		Y0:      WrapIndex(y0, m.L),
-		NX:      nx,
-		NY:      ny,
-		charges: make([]float64, (nx+2)*(ny+2)),
+	need := (nx + 2) * (ny + 2)
+	if cap(b.charges) < need {
+		b.charges = make([]float64, need)
 	}
+	b.charges = b.charges[:need]
+	b.mesh, b.X0, b.Y0, b.NX, b.NY = m, WrapIndex(x0, m.L), WrapIndex(y0, m.L), nx, ny
 	for gj := -1; gj <= ny; gj++ {
 		for gi := -1; gi <= nx; gi++ {
 			b.charges[b.idx(gi, gj)] = m.PointCharge(x0+gi, y0+gj)
 		}
 	}
-	return b, nil
+	return nil
 }
 
 func (b *Block) idx(gi, gj int) int { return (gj+1)*(b.NX+2) + (gi + 1) }
@@ -368,13 +377,18 @@ func (b *Block) ValidateColumns(cols []float64, colX0 int) error {
 // row-major order, NX×NY. Virtual-processor migration packs this so that
 // moving a VP ships its grid data, as the paper's PUP routines do.
 func (b *Block) OwnedData() []float64 {
-	out := make([]float64, 0, b.NX*b.NY)
+	return b.AppendOwnedData(make([]float64, 0, b.NX*b.NY))
+}
+
+// AppendOwnedData is the allocation-free form of OwnedData: the owned values
+// append to dst, which migration packing reuses across epochs.
+func (b *Block) AppendOwnedData(dst []float64) []float64 {
 	for gj := 0; gj < b.NY; gj++ {
 		for gi := 0; gi < b.NX; gi++ {
-			out = append(out, b.charges[b.idx(gi, gj)])
+			dst = append(dst, b.charges[b.idx(gi, gj)])
 		}
 	}
-	return out
+	return dst
 }
 
 // NewBlockFromData rebuilds a block whose owned values were shipped from
@@ -382,24 +396,33 @@ func (b *Block) OwnedData() []float64 {
 // transit is detected, not silently repaired). The ghost ring is recomputed
 // locally, as a real code would refresh halos after migration.
 func NewBlockFromData(m Mesh, x0, y0, nx, ny int, data []float64) (*Block, error) {
-	if len(data) != nx*ny {
-		return nil, fmt.Errorf("grid: block data length %d != %dx%d", len(data), nx, ny)
-	}
-	b, err := NewBlock(m, x0, y0, nx, ny)
-	if err != nil {
+	b := &Block{}
+	if err := b.ReinitFromData(m, x0, y0, nx, ny, data); err != nil {
 		return nil, err
+	}
+	return b, nil
+}
+
+// ReinitFromData is NewBlockFromData into an existing block, reusing its
+// storage where capacity allows.
+func (b *Block) ReinitFromData(m Mesh, x0, y0, nx, ny int, data []float64) error {
+	if len(data) != nx*ny {
+		return fmt.Errorf("grid: block data length %d != %dx%d", len(data), nx, ny)
+	}
+	if err := b.Reinit(m, x0, y0, nx, ny); err != nil {
+		return err
 	}
 	for gj := 0; gj < ny; gj++ {
 		for gi := 0; gi < nx; gi++ {
 			want := b.charges[b.idx(gi, gj)]
 			got := data[gj*nx+gi]
 			if got != want {
-				return nil, fmt.Errorf("grid: migrated block data mismatch at point (%d,%d): got %v want %v",
+				return fmt.Errorf("grid: migrated block data mismatch at point (%d,%d): got %v want %v",
 					x0+gi, y0+gj, got, want)
 			}
 		}
 	}
-	return b, nil
+	return nil
 }
 
 // Resize rebuilds the block for a new owned region. Drivers call this after

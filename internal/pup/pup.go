@@ -190,7 +190,7 @@ func (p *PUPer) Float64s(v *[]float64) {
 			p.fail("implausible float64 slice length %d", n)
 			return
 		}
-		*v = make([]float64, n)
+		*v = resize(*v, n)
 	}
 	for i := range *v {
 		p.Float64(&(*v)[i])
@@ -198,6 +198,16 @@ func (p *PUPer) Float64s(v *[]float64) {
 			return
 		}
 	}
+}
+
+// resize sets a slice's length, reusing its capacity when it suffices: an
+// unpack into a retained scratch slice (or a recycled object's field) stays
+// off the allocator once the buffer has grown to its working size.
+func resize[T any](v []T, n int) []T {
+	if cap(v) >= n {
+		return v[:n]
+	}
+	return make([]T, n)
 }
 
 // String serializes a string, length-prefixed.
@@ -256,7 +266,8 @@ func (p *PUPer) ByteSlice(v *[]byte) {
 }
 
 // Slice serializes a slice of arbitrary elements, length-prefixed, using the
-// provided per-element function.
+// provided per-element function. Unpacking reuses the passed slice's capacity
+// without zeroing it, so elem must write every field it reads back.
 func Slice[T any](p *PUPer, v *[]T, elem func(p *PUPer, e *T)) {
 	n := len(*v)
 	p.Int(&n)
@@ -268,7 +279,7 @@ func Slice[T any](p *PUPer, v *[]T, elem func(p *PUPer, e *T)) {
 			p.fail("implausible slice length %d", n)
 			return
 		}
-		*v = make([]T, n)
+		*v = resize(*v, n)
 	}
 	for i := range *v {
 		elem(p, &(*v)[i])

@@ -29,6 +29,9 @@ type StepStat struct {
 	Migrations    int
 	Bytes         int64
 	ExchangeBytes int64
+	// Overlap sums the compute-while-exchange-in-flight time over ranks
+	// (the tile pipeline's hidden exchange; see Sample.ExchangeOverlap).
+	Overlap time.Duration
 	// Decision is the balancer decision executed this step, if any.
 	Decision string
 }
@@ -57,6 +60,7 @@ func (tl *Timeline) StepStats() []StepStat {
 			st.Migrations += s.Migrations
 			st.Bytes += s.Bytes
 			st.ExchangeBytes += s.ExchangeBytes
+			st.Overlap += s.ExchangeOverlap
 			if st.Decision == "" {
 				st.Decision = s.Decision
 			}

@@ -99,6 +99,13 @@ func WriteChromeTrace(w io.Writer, tl *Timeline) error {
 				PID: chromePID, TS: usec(clock),
 				Args: map[string]any{"bytes": s.ExchangeBytes},
 			})
+			if s.ExchangeOverlap > 0 {
+				events = append(events, chromeEvent{
+					Name: fmt.Sprintf("exchange overlap us rank %d", s.Rank), Ph: "C",
+					PID: chromePID, TS: usec(clock),
+					Args: map[string]any{"overlap_us": usec(s.ExchangeOverlap.Nanoseconds())},
+				})
+			}
 			// Decisions are global (every rank computes the identical plan),
 			// so one instant event per step suffices.
 			if s.Decision != "" && s.Rank == tl.Samples[lo].Rank {

@@ -77,18 +77,20 @@ func TestReadJSONLRejectsDrift(t *testing.T) {
 	}
 }
 
-// TestReadJSONLAcceptsLegacyV1 pins backward compatibility: v2 only added
-// the optional exchange_bytes field, so v1 timelines must still parse, with
-// the field reading as zero.
-func TestReadJSONLAcceptsLegacyV1(t *testing.T) {
-	in := `{"schema":"picprk/timeline/v1","impl":"x","ranks":1,"steps":1}` + "\n" +
-		`{"step":1,"rank":0,"phase_ns":{"compute":5},"particles":1}` + "\n"
-	tl, err := ReadJSONL(strings.NewReader(in))
-	if err != nil {
-		t.Fatalf("v1 timeline rejected: %v", err)
-	}
-	if len(tl.Samples) != 1 || tl.Samples[0].ExchangeBytes != 0 {
-		t.Errorf("legacy sample parsed wrong: %+v", tl.Samples)
+// TestReadJSONLAcceptsLegacy pins backward compatibility: each schema bump
+// only added optional fields (v2: exchange_bytes, v3: exchange_overlap_ns),
+// so older timelines must still parse, with absent fields reading as zero.
+func TestReadJSONLAcceptsLegacy(t *testing.T) {
+	for _, schema := range []string{"picprk/timeline/v1", "picprk/timeline/v2"} {
+		in := `{"schema":"` + schema + `","impl":"x","ranks":1,"steps":1}` + "\n" +
+			`{"step":1,"rank":0,"phase_ns":{"compute":5},"particles":1}` + "\n"
+		tl, err := ReadJSONL(strings.NewReader(in))
+		if err != nil {
+			t.Fatalf("%s timeline rejected: %v", schema, err)
+		}
+		if len(tl.Samples) != 1 || tl.Samples[0].ExchangeBytes != 0 || tl.Samples[0].ExchangeOverlap != 0 {
+			t.Errorf("%s sample parsed wrong: %+v", schema, tl.Samples)
+		}
 	}
 }
 
@@ -141,8 +143,9 @@ func TestChromeTraceValid(t *testing.T) {
 	}
 	// One duration event per nonzero phase, one instant per decision step,
 	// metadata for the process and both rank threads, two counters per
-	// sample (particles and exchange bytes).
-	if counts["X"] == 0 || counts["M"] != 3 || counts["i"] != 1 || counts["C"] != 12 {
+	// sample (particles and exchange bytes) plus one per sample with
+	// nonzero exchange overlap (both step-1 samples in the fixture).
+	if counts["X"] == 0 || counts["M"] != 3 || counts["i"] != 1 || counts["C"] != 14 {
 		t.Errorf("event mix %v", counts)
 	}
 }

@@ -12,13 +12,17 @@ import (
 
 // Schema identifies the timeline wire format. Readers reject any other
 // value, so an incompatible change must bump the version — the CI
-// round-trip job fails on silent drift. v2 added the per-step
-// exchange_bytes field; v1 files are still readable (the field reads as 0).
-const Schema = "picprk/timeline/v2"
+// round-trip job fails on silent drift. v3 added the per-step
+// exchange_overlap_ns field (v2 added exchange_bytes); older files are
+// still readable (absent fields read as 0).
+const Schema = "picprk/timeline/v3"
 
-// legacySchema is the previous wire format, accepted on read: v2 only added
-// an optional field, so v1 files parse unchanged.
-const legacySchema = "picprk/timeline/v1"
+// legacySchemas are the previous wire formats, accepted on read: each later
+// version only added optional fields, so older files parse unchanged.
+var legacySchemas = map[string]bool{
+	"picprk/timeline/v1": true,
+	"picprk/timeline/v2": true,
+}
 
 // metaJSON is the first line of a timeline file.
 type metaJSON struct {
@@ -40,6 +44,7 @@ type sampleJSON struct {
 	Migrations int              `json:"migrations,omitempty"`
 	Bytes      int64            `json:"bytes,omitempty"`
 	XBytes     int64            `json:"exchange_bytes,omitempty"`
+	OverlapNS  int64            `json:"exchange_overlap_ns,omitempty"`
 	Decision   string           `json:"decision,omitempty"`
 }
 
@@ -62,6 +67,7 @@ func WriteJSONL(w io.Writer, tl *Timeline) error {
 			Migrations: s.Migrations,
 			Bytes:      s.Bytes,
 			XBytes:     s.ExchangeBytes,
+			OverlapNS:  s.ExchangeOverlap.Nanoseconds(),
 			Decision:   s.Decision,
 		}
 		for _, p := range trace.Phases() {
@@ -93,7 +99,7 @@ func ReadJSONL(r io.Reader) (*Timeline, error) {
 	if err := json.Unmarshal(sc.Bytes(), &meta); err != nil {
 		return nil, fmt.Errorf("telemetry: bad meta line: %w", err)
 	}
-	if meta.Schema != Schema && meta.Schema != legacySchema {
+	if meta.Schema != Schema && !legacySchemas[meta.Schema] {
 		return nil, fmt.Errorf("telemetry: schema %q, this reader understands %q", meta.Schema, Schema)
 	}
 	tl := &Timeline{Name: meta.Impl, P: meta.Ranks, Steps: meta.Steps, Dropped: meta.Dropped}
@@ -106,13 +112,14 @@ func ReadJSONL(r io.Reader) (*Timeline, error) {
 			return nil, fmt.Errorf("telemetry: line %d: %w", line, err)
 		}
 		s := Sample{
-			Step:          sj.Step,
-			Rank:          sj.Rank,
-			Particles:     sj.Particles,
-			Migrations:    sj.Migrations,
-			Bytes:         sj.Bytes,
-			ExchangeBytes: sj.XBytes,
-			Decision:      sj.Decision,
+			Step:            sj.Step,
+			Rank:            sj.Rank,
+			Particles:       sj.Particles,
+			Migrations:      sj.Migrations,
+			Bytes:           sj.Bytes,
+			ExchangeBytes:   sj.XBytes,
+			ExchangeOverlap: time.Duration(sj.OverlapNS),
+			Decision:        sj.Decision,
 		}
 		for name, ns := range sj.PhaseNS {
 			p, ok := byName[name]

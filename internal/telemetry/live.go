@@ -23,6 +23,7 @@ type Live struct {
 	migrations []atomic.Int64
 	bytes      []atomic.Int64
 	xbytes     []atomic.Int64
+	overlapNS  []atomic.Int64
 }
 
 // NewLive returns a Live aggregate for the given rank count.
@@ -37,6 +38,7 @@ func NewLive(ranks int) *Live {
 		migrations: make([]atomic.Int64, ranks),
 		bytes:      make([]atomic.Int64, ranks),
 		xbytes:     make([]atomic.Int64, ranks),
+		overlapNS:  make([]atomic.Int64, ranks),
 	}
 }
 
@@ -55,6 +57,7 @@ func (l *Live) Observe(s Sample) {
 	l.migrations[s.Rank].Add(int64(s.Migrations))
 	l.bytes[s.Rank].Add(s.Bytes)
 	l.xbytes[s.Rank].Add(s.ExchangeBytes)
+	l.overlapNS[s.Rank].Add(s.ExchangeOverlap.Nanoseconds())
 }
 
 // WritePrometheus renders the aggregate in the Prometheus text exposition
@@ -94,6 +97,12 @@ func (l *Live) WritePrometheus(w io.Writer) {
 	fmt.Fprintf(w, "# HELP picprk_exchange_bytes_total Particle-exchange payload bytes sent per rank (framed columnar wire size).\n# TYPE picprk_exchange_bytes_total counter\n")
 	for rank := 0; rank < l.ranks; rank++ {
 		fmt.Fprintf(w, "picprk_exchange_bytes_total{rank=\"%d\"} %d\n", rank, l.xbytes[rank].Load())
+	}
+
+	fmt.Fprintf(w, "# HELP picprk_exchange_overlap_seconds_total Compute time spent while an exchange was in flight, per rank (tile pipeline).\n# TYPE picprk_exchange_overlap_seconds_total counter\n")
+	for rank := 0; rank < l.ranks; rank++ {
+		ns := l.overlapNS[rank].Load()
+		fmt.Fprintf(w, "picprk_exchange_overlap_seconds_total{rank=\"%d\"} %g\n", rank, float64(ns)/1e9)
 	}
 
 	sum := stats.Summarize(loads)

@@ -33,6 +33,9 @@ func TestLivePrometheus(t *testing.T) {
 		`picprk_particles{rank="1"} 200`,
 		`picprk_migrations_total{rank="0"} 1`,
 		`picprk_migrated_bytes_total{rank="1"} 1024`,
+		// Hidden-exchange time accumulates: 1ms on rank 0, 0.5ms on rank 1.
+		`picprk_exchange_overlap_seconds_total{rank="0"} 0.001`,
+		`picprk_exchange_overlap_seconds_total{rank="1"} 0.0005`,
 		"picprk_imbalance_ratio 1\n",
 	} {
 		if !strings.Contains(out, want) {

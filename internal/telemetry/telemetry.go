@@ -21,6 +21,7 @@ package telemetry
 
 import (
 	"sort"
+	"time"
 
 	"github.com/parres/picprk/internal/trace"
 )
@@ -44,6 +45,12 @@ type Sample struct {
 	// this step (delta), measured as the columnar path's framed wire size
 	// (core.Columns.FramedBytes), not a per-particle serialization estimate.
 	ExchangeBytes int64
+	// ExchangeOverlap is the compute time this step spent while an exchange
+	// was in flight (the tile pipeline's interior wave). It is not a phase:
+	// the same wall time is already inside Phases[trace.Compute]. The ratio
+	// overlap/(overlap+exchange) is how much of the exchange the pipeline
+	// hid behind compute.
+	ExchangeOverlap time.Duration
 	// Decision is the balancer's history line when a plan executed this
 	// step, empty otherwise. Plans are identical on every rank, so readers
 	// normally take rank 0's.

@@ -65,8 +65,8 @@ func TestNewSortsByStepThenRank(t *testing.T) {
 // and analysis tests share: rank 1 is overloaded, a balancing decision
 // fires at step 2 and evens the loads out by step 3.
 func fixtureTimeline() *Timeline {
-	mk := func(step, rank int, c, e, b, m time.Duration, particles, migrations int, bytes, xbytes int64, decision string) Sample {
-		s := Sample{Step: step, Rank: rank, Particles: particles, Migrations: migrations, Bytes: bytes, ExchangeBytes: xbytes, Decision: decision}
+	mk := func(step, rank int, c, e, b, m, ov time.Duration, particles, migrations int, bytes, xbytes int64, decision string) Sample {
+		s := Sample{Step: step, Rank: rank, Particles: particles, Migrations: migrations, Bytes: bytes, ExchangeBytes: xbytes, ExchangeOverlap: ov, Decision: decision}
 		s.Phases[trace.Compute] = c
 		s.Phases[trace.Exchange] = e
 		s.Phases[trace.Balance] = b
@@ -76,14 +76,14 @@ func fixtureTimeline() *Timeline {
 	ms := time.Millisecond
 	return New("diffusion", 2, 3,
 		[]Sample{
-			mk(1, 0, 2*ms, 1*ms, 0, 0, 100, 0, 0, 4096, ""),
-			mk(2, 0, 2*ms, 1*ms, 1*ms, 3*ms, 150, 1, 2048, 2128, "step=2 x=[0 5 8]"),
-			mk(3, 0, 3*ms, 1*ms, 0, 0, 200, 0, 0, 128, ""),
+			mk(1, 0, 2*ms, 1*ms, 0, 0, 1*ms, 100, 0, 0, 4096, ""),
+			mk(2, 0, 2*ms, 1*ms, 1*ms, 3*ms, 0, 150, 1, 2048, 2128, "step=2 x=[0 5 8]"),
+			mk(3, 0, 3*ms, 1*ms, 0, 0, 0, 200, 0, 0, 128, ""),
 		},
 		[]Sample{
-			mk(1, 1, 6*ms, 1*ms, 0, 0, 300, 0, 0, 8192, ""),
-			mk(2, 1, 5*ms, 1*ms, 1*ms, 2*ms, 250, 1, 1024, 1648, "step=2 x=[0 5 8]"),
-			mk(3, 1, 3*ms, 1*ms, 0, 0, 200, 0, 0, 128, ""),
+			mk(1, 1, 6*ms, 1*ms, 0, 0, 500*time.Microsecond, 300, 0, 0, 8192, ""),
+			mk(2, 1, 5*ms, 1*ms, 1*ms, 2*ms, 0, 250, 1, 1024, 1648, "step=2 x=[0 5 8]"),
+			mk(3, 1, 3*ms, 1*ms, 0, 0, 0, 200, 0, 0, 128, ""),
 		},
 	)
 }
@@ -113,6 +113,10 @@ func TestStepStats(t *testing.T) {
 	}
 	if ss[2].Load.Imbalance != 1 {
 		t.Errorf("step 3 imbalance %v, want 1 (balanced)", ss[2].Load.Imbalance)
+	}
+	// Overlap sums over ranks: step 1 has 1ms + 0.5ms of hidden exchange.
+	if ss[0].Overlap != 1500*time.Microsecond || ss[1].Overlap != 0 {
+		t.Errorf("overlap per step: %v, %v; want 1.5ms, 0", ss[0].Overlap, ss[1].Overlap)
 	}
 	// Phase sums over ranks.
 	if ss[0].Phases[trace.Compute] != 8*time.Millisecond {
