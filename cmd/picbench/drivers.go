@@ -50,6 +50,31 @@ type driverBenchResult struct {
 	// overlap ratio OverlapNS/(OverlapNS + exchange phase time) is the
 	// pipeline's effectiveness: 0 means fully exposed, 1 fully hidden.
 	OverlapNS int64 `json:"overlap_ns,omitempty"`
+	// WireLatencyP50NS / WireLatencyP99NS are upper-bound estimates of the
+	// one-way data-frame latency quantiles over the last timed run, merged
+	// over every peer connection; WireDataFrames is how many data frames
+	// those quantiles summarize. Wire transports only.
+	WireLatencyP50NS int64 `json:"wire_latency_p50_ns,omitempty"`
+	WireLatencyP99NS int64 `json:"wire_latency_p99_ns,omitempty"`
+	WireDataFrames   int64 `json:"wire_data_frames,omitempty"`
+	// WirePeers breaks the latency down per (node, peer) connection.
+	WirePeers []wirePeerBench `json:"wire_peers,omitempty"`
+	// StreamNsPerOp is the wall time of one full run with per-step telemetry
+	// sampling, a live aggregate, and a drained /events subscriber attached —
+	// the fully instrumented configuration; StreamOverheadNS is the delta vs
+	// the bare NsPerOp (what live observability costs per run; negative
+	// deltas are noise and read as ~0). Wire transports only.
+	StreamNsPerOp    int64 `json:"stream_ns_per_op,omitempty"`
+	StreamOverheadNS int64 `json:"stream_overhead_ns,omitempty"`
+}
+
+// wirePeerBench is one peer connection's one-way latency summary.
+type wirePeerBench struct {
+	Node   int   `json:"node"`
+	Peer   int   `json:"peer"`
+	P50NS  int64 `json:"p50_ns"`
+	P99NS  int64 `json:"p99_ns"`
+	Frames int64 `json:"frames"`
 }
 
 // overlapRatio returns the hidden fraction of the total exchange time
@@ -175,11 +200,46 @@ func runDriverBench(ranks, workers, tile int, transport, path, timelineDir strin
 				res.MigratedBytes += s.BytesMigrated
 				res.OverlapNS += s.Overlap.Nanoseconds()
 			}
+			if last.Wire != nil {
+				if h := last.Wire.MergedLatency(); h.Count() > 0 {
+					res.WireLatencyP50NS = h.Quantile(0.5)
+					res.WireLatencyP99NS = h.Quantile(0.99)
+					res.WireDataFrames = h.Count()
+				}
+				for i := range last.Wire.Peers {
+					p := &last.Wire.Peers[i]
+					if p.OneWay.Count() == 0 {
+						continue
+					}
+					res.WirePeers = append(res.WirePeers, wirePeerBench{
+						Node: p.Node, Peer: p.Peer,
+						P50NS:  p.OneWay.Quantile(0.5),
+						P99NS:  p.OneWay.Quantile(0.99),
+						Frames: p.OneWay.Count(),
+					})
+				}
+			}
+		}
+		if transport != driver.TransportInproc {
+			streamNs, err := measureStreamOverhead(ranks, cfg, d.run)
+			if err != nil {
+				return fmt.Errorf("picbench: %s streamed run: %w", d.name, err)
+			}
+			res.StreamNsPerOp = streamNs
+			res.StreamOverheadNS = streamNs - nsPerOp
 		}
 		rep.Results = append(rep.Results, res)
-		fmt.Printf("%-10s %12d ns/op %12d allocs/op %10.1fM particle-steps/s  xchg %s  overlap %4.0f%%\n",
+		fmt.Printf("%-10s %12d ns/op %12d allocs/op %10.1fM particle-steps/s  xchg %s  overlap %4.0f%%",
 			d.name, res.NsPerOp, res.AllocsPerOp, res.ParticleStepsPerSec/1e6,
 			fmtBytes(res.ExchangedBytes), 100*res.overlapRatio())
+		if res.WireDataFrames > 0 {
+			fmt.Printf("  wire p50 ≤ %s p99 ≤ %s",
+				telemetry.FmtNS(res.WireLatencyP50NS), telemetry.FmtNS(res.WireLatencyP99NS))
+		}
+		if res.StreamNsPerOp > 0 {
+			fmt.Printf("  stream +%s/op", telemetry.FmtNS(max(res.StreamOverheadNS, 0)))
+		}
+		fmt.Println()
 	}
 
 	data, err := json.MarshalIndent(rep, "", "  ")
@@ -192,6 +252,39 @@ func runDriverBench(ranks, workers, tile int, transport, path, timelineDir strin
 	}
 	fmt.Printf("wrote %s\n", path)
 	return nil
+}
+
+// measureStreamOverhead times one fully instrumented run: telemetry
+// sampling on, a live aggregate observing every sample, and a subscriber
+// draining the /events stream the whole time — the worst-case observability
+// configuration. Returned ns/op minus the bare ns/op is the streaming cost.
+func measureStreamOverhead(ranks int, cfg driver.Config, run func(driver.Config) (*driver.Result, error)) (int64, error) {
+	live := telemetry.NewLive(ranks)
+	ch, cancel := live.Stream().Subscribe(1024)
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		for range ch {
+		}
+	}()
+	scfg := cfg
+	scfg.Telemetry = true
+	scfg.Live = live
+	var runErr error
+	r := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := run(scfg); err != nil {
+				runErr = err
+				b.Fatal(err)
+			}
+		}
+	})
+	cancel()
+	<-drained
+	if runErr != nil {
+		return 0, runErr
+	}
+	return r.NsPerOp(), nil
 }
 
 // phaseSplit sums a run's per-rank phase times into a name→nanos map using

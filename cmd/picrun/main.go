@@ -17,6 +17,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"sort"
 	"time"
 
 	"github.com/parres/picprk/internal/ampi"
@@ -35,6 +36,10 @@ type obsOpts struct {
 	// timeline and chrome are output paths for the JSONL timeline and the
 	// Chrome trace-event export ("" = off).
 	timeline, chrome string
+	// clock picks the Chrome-trace clock: telemetry.ClockBSP (synthetic
+	// step-aligned, deterministic) or telemetry.ClockWall (recorded
+	// offset-corrected wall-clock stamps).
+	clock string
 	// balanceLog dumps the executed balancing decisions after the run.
 	balanceLog bool
 	// dumpState writes the final particle state (float bits in hex) and the
@@ -70,6 +75,7 @@ func main() {
 		memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		timeline  = flag.String("timeline", "", "write the per-step telemetry timeline (JSONL) to this file")
 		chrome    = flag.String("chrometrace", "", "write the timeline as Chrome trace-event JSON (chrome://tracing, Perfetto) to this file")
+		clockName = flag.String("clock", telemetry.ClockBSP, "chrome trace clock: bsp (synthetic step-aligned) | wall (offset-corrected wall-clock stamps)")
 		httpAddr  = flag.String("http", "", "serve /metrics, /debug/vars, and /debug/pprof on this address during the run (e.g. :6060)")
 		balLog    = flag.Bool("balancelog", false, "print one line per executed load-balancing decision after the run")
 		transport = flag.String("transport", driver.TransportInproc, "comm substrate: inproc (goroutine ranks) | tcp | unix (one process per rank)")
@@ -156,20 +162,28 @@ func main() {
 		}()
 	}
 
-	obs := obsOpts{timeline: *timeline, chrome: *chrome, balanceLog: *balLog, dumpState: *dumpState}
+	obs := obsOpts{timeline: *timeline, chrome: *chrome, clock: *clockName, balanceLog: *balLog, dumpState: *dumpState}
+	if obs.clock != telemetry.ClockBSP && obs.clock != telemetry.ClockWall {
+		fatal(fmt.Errorf("unknown -clock %q (want %s or %s)", obs.clock, telemetry.ClockBSP, telemetry.ClockWall))
+	}
 	var live *telemetry.Live
 	if *httpAddr != "" {
 		ranks := *p
 		if *impl == "serial" {
 			ranks = 1
 		}
+		local := ranks
+		if *transport != driver.TransportInproc {
+			local = 1 // this process hosts rank 0 only; workers have their own
+		}
 		live = telemetry.NewLive(ranks)
+		live.SetRunInfo(telemetry.RunInfo{Impl: *impl, Transport: *transport, World: ranks, LocalRanks: local})
 		addr, stop, err := telemetry.Serve(*httpAddr, live)
 		if err != nil {
 			fatal(err)
 		}
 		defer stop() //nolint:errcheck // best-effort teardown on exit
-		fmt.Printf("observability: http://%s/metrics (also /debug/vars, /debug/pprof)\n", addr)
+		fmt.Printf("observability: http://%s/metrics (also /healthz, /events, /debug/vars, /debug/pprof)\n", addr)
 	}
 
 	cfg := driver.Config{
@@ -192,7 +206,7 @@ func main() {
 	if *transport != driver.TransportInproc {
 		// Multi-process: rendezvous + forked single-rank workers, this
 		// process hosting rank 0.
-		runCoordinator(eng, opts, *listen, report)
+		runCoordinator(eng, opts, *listen, live, report)
 		return
 	}
 	report(eng.Run(*p))
@@ -302,10 +316,14 @@ func writeObservability(tl *telemetry.Timeline, obs obsOpts) {
 		fmt.Printf("timeline: wrote %d samples to %s (analyze with picstat)\n", len(tl.Samples), obs.timeline)
 	}
 	if obs.chrome != "" {
-		if err := writeFileWith(obs.chrome, func(f *os.File) error { return telemetry.WriteChromeTrace(f, tl) }); err != nil {
+		clock := obs.clock
+		if clock == "" {
+			clock = telemetry.ClockBSP
+		}
+		if err := writeFileWith(obs.chrome, func(f *os.File) error { return telemetry.WriteChromeTraceClock(f, tl, clock) }); err != nil {
 			fatal(err)
 		}
-		fmt.Printf("chrome trace: wrote %s (load in Perfetto or chrome://tracing)\n", obs.chrome)
+		fmt.Printf("chrome trace: wrote %s on the %s clock (load in Perfetto or chrome://tracing)\n", obs.chrome, clock)
 	}
 }
 
@@ -346,6 +364,18 @@ func reportParallel(res *driver.Result, err error, obs obsOpts) {
 			s.Overlap.Round(time.Microsecond),
 			s.Balance.Round(time.Microsecond), s.Migrate.Round(time.Microsecond), s.FinalParticles)
 	}
+	if res.Wire != nil {
+		if h := res.Wire.MergedLatency(); h.Count() > 0 {
+			fmt.Printf("wire: %d data frames, one-way latency p50 ≤ %s, p99 ≤ %s\n",
+				h.Count(), telemetry.FmtNS(h.Quantile(0.5)), telemetry.FmtNS(h.Quantile(0.99)))
+		}
+		for _, node := range sortedOffsetNodes(res.Wire.Offsets) {
+			if node != 0 {
+				fmt.Printf("  clock offset node %d: %s (to node 0's clock)\n",
+					node, telemetry.FmtNS(res.Wire.Offsets[node]))
+			}
+		}
+	}
 	if obs.balanceLog {
 		fmt.Printf("balance log: %d executed decision(s)\n", len(res.BalanceLog))
 		for _, line := range res.BalanceLog {
@@ -362,6 +392,16 @@ func reportParallel(res *driver.Result, err error, obs obsOpts) {
 	if res.Verified {
 		fmt.Println("verification: PASSED (closed-form positions + ID checksum)")
 	}
+}
+
+// sortedOffsetNodes yields the offset map's node indices in ascending order.
+func sortedOffsetNodes(m map[int]int64) []int {
+	nodes := make([]int, 0, len(m))
+	for n := range m {
+		nodes = append(nodes, n)
+	}
+	sort.Ints(nodes)
+	return nodes
 }
 
 func fatal(err error) {

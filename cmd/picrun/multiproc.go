@@ -20,6 +20,7 @@ import (
 	"github.com/parres/picprk/internal/comm"
 	"github.com/parres/picprk/internal/comm/wire"
 	"github.com/parres/picprk/internal/driver"
+	"github.com/parres/picprk/internal/telemetry"
 )
 
 // runOptions is the subset of flags the run-mode logic needs, separated
@@ -94,7 +95,7 @@ func workerArgs(rendezvousAddr string) []string {
 	skip := map[string]bool{
 		"join": true, "listen": true, "spawn": true,
 		"http": true, "cpuprofile": true, "memprofile": true,
-		"balancelog": true, "dumpstate": true,
+		"balancelog": true, "dumpstate": true, "clock": true,
 	}
 	var args []string
 	flag.Visit(func(f *flag.Flag) {
@@ -107,7 +108,7 @@ func workerArgs(rendezvousAddr string) []string {
 
 // runCoordinator executes a multi-process run from the user's picrun: start
 // the rendezvous, fork the local workers, host rank 0, report the result.
-func runCoordinator(eng *driver.Engine, o runOptions, listen string, report func(*driver.Result, error)) {
+func runCoordinator(eng *driver.Engine, o runOptions, listen string, live *telemetry.Live, report func(*driver.Result, error)) {
 	network := o.transport
 	if listen == "" {
 		listen = wire.DefaultAddr(network)
@@ -143,8 +144,16 @@ func runCoordinator(eng *driver.Engine, o runOptions, listen string, report func
 	if err := rv.Wait(); err != nil {
 		fatal(err)
 	}
+	live.AddWireSource(node.WireReport)
 	w := comm.NewTransportWorld(node, eng.Cfg.WorldOptions())
 	res, runErr := eng.RunWorld(w)
+	if res != nil {
+		// Rank 0's own view: its peer connections and offset (identically 0);
+		// the workers' offsets live on their nodes and surface per-frame in
+		// the offset-corrected timeline stamps instead.
+		rep := node.WireReport()
+		res.Wire = &rep
+	}
 	for i, cmd := range procs {
 		if werr := cmd.Wait(); werr != nil && runErr == nil {
 			runErr = fmt.Errorf("worker %d: %w", i, werr)

@@ -1,0 +1,81 @@
+package main
+
+// Live mode: picstat -follow host:port tails the /events Server-Sent Events
+// stream a `picrun -http` process serves, printing one line per sample as
+// the run produces it. The stream ends when the run exits (the server closes
+// every subscriber) or on ctrl-C.
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"github.com/parres/picprk/internal/telemetry"
+	"github.com/parres/picprk/internal/trace"
+)
+
+// followEvents connects to addr's /events endpoint and prints samples until
+// the stream ends.
+func followEvents(addr string) error {
+	url := addr
+	if !strings.Contains(url, "://") {
+		url = "http://" + url
+	}
+	url = strings.TrimRight(url, "/") + "/events"
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: %s", url, resp.Status)
+	}
+	fmt.Printf("following %s (stream ends when the run does)\n", url)
+	fmt.Printf("%6s  %4s  %10s  %10s  %10s  %9s  %s\n",
+		"step", "rank", trace.Compute, trace.Exchange, "wall start", "particles", "decision")
+
+	// SSE framing: `data: <json>` lines separated by blank lines; comment
+	// lines start with ':'. One sample per data line.
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	var wallBase int64
+	n := 0
+	for sc.Scan() {
+		data, ok := strings.CutPrefix(sc.Text(), "data: ")
+		if !ok {
+			continue
+		}
+		s, err := telemetry.UnmarshalSample([]byte(data))
+		if err != nil {
+			return fmt.Errorf("bad event payload: %w", err)
+		}
+		wall := "-"
+		if s.WallStartNS != 0 {
+			if wallBase == 0 {
+				wallBase = s.WallStartNS
+			}
+			wall = telemetry.FmtNS(s.WallStartNS - wallBase)
+		}
+		fmt.Printf("%6d  %4d  %10v  %10v  %10s  %9d  %s\n",
+			s.Step, s.Rank,
+			s.Phases[trace.Compute].Round(time.Microsecond),
+			s.Phases[trace.Exchange].Round(time.Microsecond),
+			wall, s.Particles, s.Decision)
+		n++
+	}
+	if err := sc.Err(); err != nil {
+		// A run killed mid-stream severs the connection without the chunked
+		// terminator; the samples printed so far are still good.
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			fmt.Printf("stream severed after %d sample(s) (run exited abruptly)\n", n)
+			return nil
+		}
+		return fmt.Errorf("stream: %w", err)
+	}
+	fmt.Printf("stream closed after %d sample(s)\n", n)
+	return nil
+}

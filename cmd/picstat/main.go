@@ -2,14 +2,17 @@
 // `picrun -timeline` (or `picbench -drivers -timelines`): per-phase time
 // totals, how the load imbalance evolved over the run, and the steps that
 // cost the most wall time — the §V-B lens on a run, from a file instead of
-// a live cluster.
+// a live cluster. With -follow it tails a running picrun's /events stream
+// instead, printing one line per sample as it lands.
 //
 // Usage:
 //
 //	picrun -impl diffusion -p 8 -steps 500 -timeline tl.jsonl
 //	picstat tl.jsonl
 //	picstat -top 10 -rows 20 tl.jsonl
-//	picstat -chrome trace.json tl.jsonl   # convert for Perfetto
+//	picstat -chrome trace.json tl.jsonl          # convert for Perfetto
+//	picstat -chrome trace.json -clock wall tl.jsonl
+//	picstat -follow localhost:6060               # tail picrun -http :6060
 package main
 
 import (
@@ -27,11 +30,20 @@ func main() {
 		top    = flag.Int("top", 5, "worst steps to list (by wall time)")
 		rows   = flag.Int("rows", 10, "max rows in the imbalance-over-time table")
 		chrome = flag.String("chrome", "", "also convert the timeline to Chrome trace-event JSON at this path")
+		clock  = flag.String("clock", telemetry.ClockBSP, "chrome trace clock: bsp | wall")
+		follow = flag.Bool("follow", false, "treat the argument as a picrun -http address and stream live samples from its /events endpoint")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: picstat [-top N] [-rows N] [-chrome out.json] timeline.jsonl")
+		fmt.Fprintln(os.Stderr, "usage: picstat [-top N] [-rows N] [-chrome out.json] [-clock bsp|wall] timeline.jsonl\n       picstat -follow host:port")
 		os.Exit(2)
+	}
+
+	if *follow {
+		if err := followEvents(flag.Arg(0)); err != nil {
+			fatal(err)
+		}
+		return
 	}
 
 	f, err := os.Open(flag.Arg(0))
@@ -50,14 +62,14 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		if err := telemetry.WriteChromeTrace(out, tl); err != nil {
+		if err := telemetry.WriteChromeTraceClock(out, tl, *clock); err != nil {
 			out.Close()
 			fatal(err)
 		}
 		if err := out.Close(); err != nil {
 			fatal(err)
 		}
-		fmt.Printf("\nchrome trace: wrote %s (load in Perfetto or chrome://tracing)\n", *chrome)
+		fmt.Printf("\nchrome trace: wrote %s on the %s clock (load in Perfetto or chrome://tracing)\n", *chrome, *clock)
 	}
 }
 

@@ -292,6 +292,26 @@ func (c *Comm) OnWire() bool { return c.world.tr.Wired() }
 // on behalf of this rank (0 in-process, where nothing is serialized).
 func (c *Comm) TransportBytes() int64 { return c.world.tr.SentBytes(c.group[c.rank]) }
 
+// WallClockNS returns the current wall-clock time in nanoseconds on the
+// world's common timeline: rank 0's clock. On a transport that estimates
+// clock offsets (the wire mesh) the local clock is offset-corrected; in
+// process every rank shares one clock and this is simply time.Now.
+func (c *Comm) WallClockNS() int64 {
+	if wc, ok := c.world.tr.(WallClocker); ok {
+		return wc.WallClockNS()
+	}
+	return time.Now().UnixNano()
+}
+
+// ClockOffsetNS returns the transport's estimate of rank 0's clock minus
+// this process's clock, in nanoseconds (0 in-process and on rank 0's node).
+func (c *Comm) ClockOffsetNS() int64 {
+	if wc, ok := c.world.tr.(WallClocker); ok {
+		return wc.ClockOffsetNS()
+	}
+	return 0
+}
+
 // Send delivers data to rank dst of this communicator with the given tag.
 // Send is asynchronous and never blocks (buffered, like MPI_Isend with an
 // unbounded buffer). Ownership of reference-typed data transfers to the

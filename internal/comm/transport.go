@@ -79,6 +79,20 @@ type Transport interface {
 	Finish(aborted bool) error
 }
 
+// WallClocker is an optional Transport extension: a distributed transport
+// that estimates per-process clock offsets (the wire mesh piggybacks
+// NTP-style exchanges on its handshake) exposes the world's common wall
+// clock — rank 0's — through it. Comm.WallClockNS falls back to the local
+// clock when the transport does not implement it, which is exact for the
+// in-process substrate where all ranks share one clock.
+type WallClocker interface {
+	// WallClockNS is the local clock corrected onto rank 0's clock, ns.
+	WallClockNS() int64
+	// ClockOffsetNS is the estimate of rank 0's clock minus the local
+	// clock, ns (zero where they are the same clock).
+	ClockOffsetNS() int64
+}
+
 // inproc is the in-process transport: a trivial loop-back into the World's
 // own mailboxes. Ship is a direct method call, so the steady-state send
 // path stays allocation-free.

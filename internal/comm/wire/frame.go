@@ -20,24 +20,32 @@ import (
 	"github.com/parres/picprk/internal/pup"
 )
 
-// Every frame starts with a fixed 32-byte little-endian header:
+// Every frame starts with a fixed 40-byte little-endian header:
 //
 //	offset  size  field
-//	     0     4  length of the rest of the frame (28 header bytes + payload)
-//	     4     1  protocol version (currently 1)
-//	     5     1  frame type (data / abort / done / bye / hello)
+//	     0     4  length of the rest of the frame (36 header bytes + payload)
+//	     4     1  protocol version (currently 2)
+//	     5     1  frame type (data / abort / done / bye / hello / ping / pong)
 //	     6     2  payload kind (pup codec id for data frames; 0 on control)
 //	     8     4  destination world rank
 //	    12     4  source world rank (node index on control frames)
 //	    16     8  communicator context id
 //	    24     8  tag (two's complement)
-//	    32     …  payload (pup-encoded body)
+//	    32     8  send timestamp, nanoseconds (two's complement)
+//	    40     …  payload (pup-encoded body)
+//
+// The send timestamp is stamped when the frame is built: on data and
+// control frames it is the sender's offset-corrected wall clock (node 0's
+// epoch), so the receiver can derive a one-way latency estimate that
+// includes the sender's writer-queue wait; on ping/pong frames it is the
+// sender's raw local clock (t1/t3 of the NTP-style exchange that produces
+// those offsets in the first place).
 //
 // The layout is pinned by TestFrameGolden in golden_test.go; change it only
 // with a version bump there and in DESIGN.md.
 const (
-	headerBytes  = 32
-	frameVersion = 1
+	headerBytes  = 40
+	frameVersion = 2
 	maxFrameBody = 1 << 30 // sanity bound on the length field
 )
 
@@ -49,6 +57,8 @@ const (
 	frameDone  frameType = 3 // node finished its local ranks (sent to node 0)
 	frameBye   frameType = 4 // node 0's shutdown go-ahead
 	frameHello frameType = 5 // rendezvous and mesh handshake
+	framePing  frameType = 6 // clock-sync probe; sendNS carries t1 (local clock)
+	framePong  frameType = 7 // clock-sync reply; payload echoes t1,t2; sendNS is t3
 )
 
 type frame struct {
@@ -58,6 +68,7 @@ type frame struct {
 	src     uint32
 	ctx     uint64
 	tag     int64
+	sendNS  int64
 	payload []byte
 }
 
@@ -72,6 +83,7 @@ func (f *frame) encode(dst []byte) []byte {
 	putU32(hdr[12:], f.src)
 	putU64(hdr[16:], f.ctx)
 	putU64(hdr[24:], uint64(f.tag))
+	putU64(hdr[32:], uint64(f.sendNS))
 	return append(append(dst, hdr[:]...), f.payload...)
 }
 
@@ -92,12 +104,13 @@ func readFrame(r io.Reader) (frame, error) {
 		return frame{}, fmt.Errorf("wire: protocol version %d, want %d", hdr[4], frameVersion)
 	}
 	f := frame{
-		typ:  frameType(hdr[5]),
-		kind: pup.Kind(getU16(hdr[6:])),
-		dst:  getU32(hdr[8:]),
-		src:  getU32(hdr[12:]),
-		ctx:  getU64(hdr[16:]),
-		tag:  int64(getU64(hdr[24:])),
+		typ:    frameType(hdr[5]),
+		kind:   pup.Kind(getU16(hdr[6:])),
+		dst:    getU32(hdr[8:]),
+		src:    getU32(hdr[12:]),
+		ctx:    getU64(hdr[16:]),
+		tag:    int64(getU64(hdr[24:])),
+		sendNS: int64(getU64(hdr[32:])),
 	}
 	if pl := n - (headerBytes - 4); pl > 0 {
 		f.payload = make([]byte, pl)

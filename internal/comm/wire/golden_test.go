@@ -5,7 +5,7 @@ import (
 	"testing"
 )
 
-// TestFrameGolden pins the framed wire layout byte for byte: the 32-byte
+// TestFrameGolden pins the framed wire layout byte for byte: the 40-byte
 // little-endian header documented in frame.go and DESIGN.md. If this test
 // fails, the on-the-wire format changed — bump frameVersion and update the
 // docs rather than silently breaking cross-version worlds.
@@ -17,14 +17,15 @@ func TestFrameGolden(t *testing.T) {
 		src:     0x0102,
 		ctx:     0x1122334455667788,
 		tag:     -5,
+		sendNS:  0x0102030405060708,
 		payload: []byte{0xde, 0xad, 0xbe, 0xef},
 	}
 	got := f.encode(nil)
 	want := []byte{
-		// length of the rest: 28 header bytes + 4 payload = 32 (LE u32)
-		0x20, 0x00, 0x00, 0x00,
+		// length of the rest: 36 header bytes + 4 payload = 40 (LE u32)
+		0x28, 0x00, 0x00, 0x00,
 		// version
-		0x01,
+		0x02,
 		// frame type: data
 		0x01,
 		// kind (LE u16)
@@ -37,6 +38,8 @@ func TestFrameGolden(t *testing.T) {
 		0x88, 0x77, 0x66, 0x55, 0x44, 0x33, 0x22, 0x11,
 		// tag -5 (two's complement LE i64)
 		0xfb, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff,
+		// send timestamp ns (two's complement LE i64)
+		0x08, 0x07, 0x06, 0x05, 0x04, 0x03, 0x02, 0x01,
 		// payload
 		0xde, 0xad, 0xbe, 0xef,
 	}
@@ -50,7 +53,7 @@ func TestFrameGolden(t *testing.T) {
 	}
 	if back.typ != f.typ || back.kind != f.kind || back.dst != f.dst ||
 		back.src != f.src || back.ctx != f.ctx || back.tag != f.tag ||
-		!bytes.Equal(back.payload, f.payload) {
+		back.sendNS != f.sendNS || !bytes.Equal(back.payload, f.payload) {
 		t.Fatalf("frame did not round-trip: %+v vs %+v", back, f)
 	}
 }

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"github.com/parres/picprk/internal/pup"
+	"github.com/parres/picprk/internal/telemetry"
 )
 
 // The rendezvous is a small listener that assembles a wire world: each
@@ -128,6 +129,11 @@ func StartRendezvous(network, addr string, worldSize int) (*Rendezvous, error) {
 
 // Addr returns the rendezvous listen address to hand to joiners.
 func (r *Rendezvous) Addr() string { return r.ln.Addr().String() }
+
+// Close aborts the bootstrap: the listener stops accepting, and joiners
+// already connected are sent an error welcome so their Join returns instead
+// of hanging. Wait reports the resulting bootstrap error.
+func (r *Rendezvous) Close() error { return r.ln.Close() }
 
 // Wait blocks until every joiner has been welcomed (or the bootstrap
 // failed) and returns the bootstrap error.
@@ -281,6 +287,10 @@ type JoinOptions struct {
 	// ephemeral loopback address). Set it to a reachable host:port when
 	// joining across machines.
 	Bind string
+	// Timeout bounds every bootstrap step (rendezvous dial/handshake, mesh
+	// dials, mesh accepts); 0 means the default 60s. Tests use short
+	// timeouts to turn would-be hangs into clear errors.
+	Timeout time.Duration
 }
 
 // Join connects to a rendezvous at addr, receives this node's rank span and
@@ -296,6 +306,10 @@ func Join(network, addr string, o JoinOptions) (*Node, error) {
 	if o.Count < 0 {
 		return nil, fmt.Errorf("wire: node rank count must be positive, got %d", o.Count)
 	}
+	timeout := o.Timeout
+	if timeout <= 0 {
+		timeout = handshakeTimeout
+	}
 	bind := o.Bind
 	if bind == "" {
 		bind = DefaultAddr(network)
@@ -305,7 +319,7 @@ func Join(network, addr string, o JoinOptions) (*Node, error) {
 		return nil, fmt.Errorf("wire: mesh listen: %w", err)
 	}
 
-	w, err := rendezvousHandshake(network, addr, helloPayload{Want: o.WantBase, Count: o.Count, Addr: ln.Addr().String()})
+	w, err := rendezvousHandshake(network, addr, helloPayload{Want: o.WantBase, Count: o.Count, Addr: ln.Addr().String()}, timeout)
 	if err != nil {
 		_ = ln.Close()
 		return nil, err
@@ -316,17 +330,22 @@ func Join(network, addr string, o JoinOptions) (*Node, error) {
 		size += nd.Count
 	}
 	n := &Node{
-		network:   network,
-		index:     w.Index,
-		size:      size,
-		nodes:     w.Nodes,
-		owner:     make([]int, size),
-		ln:        ln,
-		peers:     make([]*peer, len(w.Nodes)),
-		sent:      make([]int64, size),
-		started:   make(chan struct{}),
-		bye:       make(chan struct{}),
-		abortedCh: make(chan struct{}),
+		network:    network,
+		index:      w.Index,
+		size:       size,
+		nodes:      w.Nodes,
+		owner:      make([]int, size),
+		ln:         ln,
+		peers:      make([]*peer, len(w.Nodes)),
+		sent:       make([]int64, size),
+		hsTimeout:  timeout,
+		recvFrames: make([]int64, len(w.Nodes)),
+		latCounts:  make([]int64, len(w.Nodes)*telemetry.LatencyBuckets),
+		latSums:    make([]int64, len(w.Nodes)),
+		resyncStop: make(chan struct{}),
+		started:    make(chan struct{}),
+		bye:        make(chan struct{}),
+		abortedCh:  make(chan struct{}),
 	}
 	for ni, nd := range w.Nodes {
 		for r := nd.Base; r < nd.Base+nd.Count; r++ {
@@ -347,13 +366,13 @@ func Join(network, addr string, o JoinOptions) (*Node, error) {
 	return n, nil
 }
 
-func rendezvousHandshake(network, addr string, h helloPayload) (*welcomePayload, error) {
-	conn, err := net.DialTimeout(network, addr, handshakeTimeout)
+func rendezvousHandshake(network, addr string, h helloPayload, timeout time.Duration) (*welcomePayload, error) {
+	conn, err := net.DialTimeout(network, addr, timeout)
 	if err != nil {
 		return nil, fmt.Errorf("wire: dial rendezvous %s: %w", addr, err)
 	}
 	defer conn.Close()
-	_ = conn.SetDeadline(time.Now().Add(handshakeTimeout))
+	_ = conn.SetDeadline(time.Now().Add(timeout))
 	body, err := packPayload(h.pup)
 	if err != nil {
 		return nil, err
@@ -381,20 +400,29 @@ func rendezvousHandshake(network, addr string, h helloPayload) (*welcomePayload,
 
 // mesh builds the full peer mesh: dial every lower-indexed node plus
 // ourselves (the self-dial carries co-hosted rank traffic over a real
-// socket), then accept the higher-indexed nodes' dials and our own.
+// socket), then accept the higher-indexed nodes' dials and our own. The
+// dial to node 0 additionally runs the synchronous clock-sync rounds (see
+// clock.go) while the fresh connection still has no reader/writer
+// goroutines, so every node leaves the mesh with a first offset estimate.
 func (n *Node) mesh() error {
 	for j := 0; j <= n.index; j++ {
-		conn, err := net.DialTimeout(n.network, n.nodes[j].Addr, handshakeTimeout)
+		conn, err := net.DialTimeout(n.network, n.nodes[j].Addr, n.hsTimeout)
 		if err != nil {
 			return fmt.Errorf("wire: node %d dial node %d (%s): %w", n.index, j, n.nodes[j].Addr, err)
 		}
 		f := frame{typ: frameHello, src: uint32(n.index)}
-		_ = conn.SetWriteDeadline(time.Now().Add(handshakeTimeout))
+		_ = conn.SetWriteDeadline(time.Now().Add(n.hsTimeout))
 		if _, err := conn.Write(f.encode(nil)); err != nil {
 			_ = conn.Close()
 			return fmt.Errorf("wire: node %d mesh hello to node %d: %w", n.index, j, err)
 		}
 		_ = conn.SetWriteDeadline(time.Time{})
+		if j == 0 && n.index != 0 {
+			if err := n.syncClockDial(conn); err != nil {
+				_ = conn.Close()
+				return err
+			}
+		}
 		n.peers[j] = newPeer(conn)
 		n.conns = append(n.conns, conn)
 		go n.readLoop(conn)
@@ -405,7 +433,7 @@ func (n *Node) mesh() error {
 		if err != nil {
 			return fmt.Errorf("wire: node %d mesh accept: %w", n.index, err)
 		}
-		_ = conn.SetReadDeadline(time.Now().Add(handshakeTimeout))
+		_ = conn.SetReadDeadline(time.Now().Add(n.hsTimeout))
 		f, err := readFrame(conn)
 		if err != nil || f.typ != frameHello {
 			_ = conn.Close()
@@ -413,6 +441,12 @@ func (n *Node) mesh() error {
 		}
 		_ = conn.SetReadDeadline(time.Time{})
 		from := int(f.src)
+		if n.index == 0 && from != 0 {
+			if err := answerClockSync(conn, n.index, n.hsTimeout); err != nil {
+				_ = conn.Close()
+				return fmt.Errorf("wire: node 0 clock sync with node %d: %w", from, err)
+			}
+		}
 		switch {
 		case from == n.index:
 			// Read end of our own self-dial; the write end is peers[index].

@@ -1,0 +1,138 @@
+package wire
+
+import (
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// Bootstrap failure paths: every way a world can fail to assemble must
+// produce a prompt, descriptive error — never a hang. Joins in these tests
+// carry a short JoinOptions.Timeout so a regression shows up as a test
+// timeout measured in seconds, not minutes.
+
+// TestJoinRendezvousUnresponsive: the rendezvous address accepts the TCP
+// connection (listen backlog) but never answers the hello. The join must
+// give up after its timeout.
+func TestJoinRendezvousUnresponsive(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	start := time.Now()
+	_, err = Join("tcp", ln.Addr().String(), JoinOptions{Timeout: 300 * time.Millisecond})
+	if err == nil {
+		t.Fatal("join to a mute listener succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("join took %v to fail; the timeout did not bound it", elapsed)
+	}
+	if !strings.Contains(err.Error(), "welcome") {
+		t.Errorf("error %q does not say which handshake step failed", err)
+	}
+}
+
+// TestJoinRendezvousGone: no listener at the address at all — the dial
+// itself must fail immediately with a clear error.
+func TestJoinRendezvousGone(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	_, err = Join("tcp", addr, JoinOptions{Timeout: 2 * time.Second})
+	if err == nil {
+		t.Fatal("join to a closed address succeeded")
+	}
+	if !strings.Contains(err.Error(), "dial rendezvous") {
+		t.Errorf("error %q does not name the dial step", err)
+	}
+}
+
+// TestRendezvousClosedMidBootstrap: a joiner is connected and waiting for
+// the rest of the world when the rendezvous goes away. Both the joiner and
+// Wait must return errors instead of hanging.
+func TestRendezvousClosedMidBootstrap(t *testing.T) {
+	rv, err := StartRendezvous("tcp", "127.0.0.1:0", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	joinErr := make(chan error, 1)
+	go func() {
+		_, err := Join("tcp", rv.Addr(), JoinOptions{Timeout: 5 * time.Second})
+		joinErr <- err
+	}()
+	// Give the joiner a moment to be admitted, then kill the bootstrap while
+	// it waits for the missing second joiner.
+	time.Sleep(100 * time.Millisecond)
+	if err := rv.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	select {
+	case err := <-joinErr:
+		if err == nil {
+			t.Fatal("join succeeded with a one-joiner world of size 2")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("join hung after the rendezvous closed")
+	}
+	if err := rv.Wait(); err == nil {
+		t.Fatal("Wait reported a successful bootstrap after Close")
+	}
+}
+
+// TestJoinDuplicateBaseRank: two joiners both claiming base rank 0 is an
+// impossible world; both joins and Wait must fail with an error naming the
+// conflict.
+func TestJoinDuplicateBaseRank(t *testing.T) {
+	rv, err := StartRendezvous("tcp", "127.0.0.1:0", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rv.Close()
+
+	errs := make([]error, 2)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	for i := 0; i < 2; i++ {
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = Join("tcp", rv.Addr(), JoinOptions{WantBase: 0, Timeout: 10 * time.Second})
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err == nil {
+			t.Fatalf("joiner %d with the duplicate base rank succeeded", i)
+		}
+		if !strings.Contains(err.Error(), "base rank 0") {
+			t.Errorf("joiner %d error %q does not name the conflicting rank", i, err)
+		}
+	}
+	if err := rv.Wait(); err == nil {
+		t.Fatal("Wait reported success for an unsatisfiable world")
+	}
+}
+
+// TestJoinWorldOverflow: joiner rank counts that overshoot the world size
+// are rejected at bootstrap.
+func TestJoinWorldOverflow(t *testing.T) {
+	rv, err := StartRendezvous("tcp", "127.0.0.1:0", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rv.Close()
+
+	_, err = Join("tcp", rv.Addr(), JoinOptions{Count: 3, Timeout: 10 * time.Second})
+	if err == nil {
+		t.Fatal("a 3-rank joiner fit a world of size 2")
+	}
+}

@@ -49,6 +49,24 @@ type Node struct {
 	conns []net.Conn
 	sent  []int64 // framed bytes shipped per world rank (atomic; local only)
 
+	hsTimeout time.Duration // handshake/mesh deadline (JoinOptions.Timeout)
+
+	// Wire accounting (see clock.go): frames received and one-way latency
+	// histograms per peer node, all atomic so WireReport can snapshot them
+	// while the world runs — and after it shuts down.
+	recvFrames []int64
+	latCounts  []int64 // [peer node][telemetry.LatencyBuckets], flattened
+	latSums    []int64
+
+	// NTP-style clock state (see clock.go): clockOff is the atomic estimate
+	// of node 0's clock minus ours; clockRTT (under clockMu) is the round
+	// trip of the sample behind it, 0 when no sample has landed yet.
+	clockMu    sync.Mutex
+	clockRTT   int64
+	clockOff   int64
+	resyncStop chan struct{}
+	resyncOnce sync.Once
+
 	handler     comm.Handler
 	started     chan struct{}
 	startedOnce sync.Once
@@ -95,9 +113,13 @@ func (n *Node) SentBytes(src int) int64 {
 }
 
 // Start implements comm.Transport: readers hold delivery until the world's
-// handler is registered.
+// handler is registered. Nodes other than 0 also start the clock-resync
+// loop here, once a handler exists to own the world's lifetime.
 func (n *Node) Start(h comm.Handler) {
 	n.handler = h
+	if n.index != 0 && len(n.nodes) > 1 {
+		go n.resyncLoop()
+	}
 	n.release()
 }
 
@@ -118,7 +140,8 @@ func (n *Node) Ship(dst int, m comm.Message) {
 	f := frame{
 		typ: frameData, kind: kind,
 		dst: uint32(dst), src: uint32(m.Src),
-		ctx: m.Ctx, tag: int64(m.Tag), payload: body,
+		ctx: m.Ctx, tag: int64(m.Tag),
+		sendNS: n.WallClockNS(), payload: body,
 	}
 	b := f.encode(nil)
 	atomic.AddInt64(&n.sent[m.Src], int64(len(b)))
@@ -129,7 +152,7 @@ func (n *Node) Ship(dst int, m comm.Message) {
 // their blocked receives wake, and release local Finish waiters.
 func (n *Node) Abort(err error) {
 	n.abortOnce.Do(func() {
-		f := frame{typ: frameAbort, src: uint32(n.index), payload: encodeString(err.Error())}
+		f := frame{typ: frameAbort, src: uint32(n.index), sendNS: n.WallClockNS(), payload: encodeString(err.Error())}
 		b := f.encode(nil)
 		for i, p := range n.peers {
 			if i != n.index {
@@ -173,7 +196,7 @@ func (n *Node) Finish(aborted bool) error {
 	if n.index == 0 {
 		n.noteDone(0)
 	} else {
-		f := frame{typ: frameDone, src: uint32(n.index)}
+		f := frame{typ: frameDone, src: uint32(n.index), sendNS: n.WallClockNS()}
 		n.peers[0].enqueue(f.encode(nil))
 	}
 	select {
@@ -185,7 +208,7 @@ func (n *Node) Finish(aborted bool) error {
 		// connection carries a BYE ahead of its EOF (same ordered stream),
 		// so whichever frame a reader sees first marks the shutdown. The
 		// flush puts the echoes on the wire before the sockets close.
-		f := frame{typ: frameBye, src: uint32(n.index)}
+		f := frame{typ: frameBye, src: uint32(n.index), sendNS: n.WallClockNS()}
 		b := f.encode(nil)
 		for i, p := range n.peers {
 			if i != n.index {
@@ -227,6 +250,7 @@ func (n *Node) isClosing() bool {
 
 func (n *Node) closeAll() {
 	n.setClosing()
+	n.stopResync()
 	n.release()
 	if n.ln != nil {
 		_ = n.ln.Close()
@@ -257,7 +281,7 @@ func (n *Node) noteDone(nodeIdx int) {
 	ready := n.doneCount == len(n.nodes)
 	n.mu.Unlock()
 	if ready {
-		f := frame{typ: frameBye, src: uint32(n.index)}
+		f := frame{typ: frameBye, src: uint32(n.index), sendNS: n.WallClockNS()}
 		b := f.encode(nil)
 		for i, p := range n.peers {
 			if i != n.index {
@@ -299,8 +323,15 @@ func (n *Node) readLoop(conn net.Conn) {
 				n.fail(fmt.Errorf("wire: node %d received a frame for rank %d it does not host", n.index, dst))
 				return
 			}
-			n.handler.Incoming(dst, comm.Message{Ctx: f.ctx, Src: int(f.src), Tag: int(f.tag), Data: v})
+			src := int(f.src)
+			if src < 0 || src >= n.size {
+				n.fail(fmt.Errorf("wire: node %d received a frame from invalid rank %d", n.index, src))
+				return
+			}
+			n.recordData(src, f.sendNS)
+			n.handler.Incoming(dst, comm.Message{Ctx: f.ctx, Src: src, Tag: int(f.tag), Data: v})
 		case frameAbort:
+			n.recordControl(int(f.src))
 			msg := "wire: remote abort"
 			if s, serr := decodeString(f.payload); serr == nil && s != "" {
 				msg = s
@@ -308,9 +339,29 @@ func (n *Node) readLoop(conn net.Conn) {
 			n.handler.RemoteAbort(errors.New(msg))
 			n.markAborted()
 		case frameDone:
+			n.recordControl(int(f.src))
 			n.noteDone(int(f.src))
 		case frameBye:
+			n.recordControl(int(f.src))
 			n.noteBye()
+		case framePing:
+			// Resync probe: answer through the writer toward the pinger so
+			// the reply shares the mesh's ordered streams.
+			from := int(f.src)
+			n.recordControl(from)
+			if from < 0 || from >= len(n.peers) || n.peers[from] == nil {
+				n.fail(fmt.Errorf("wire: node %d: clock ping from unknown node %d", n.index, from))
+				return
+			}
+			t2 := nowNS()
+			pong := frame{typ: framePong, src: uint32(n.index), payload: encodePong(f.sendNS, t2), sendNS: nowNS()}
+			n.peers[from].enqueue(pong.encode(nil))
+		case framePong:
+			t4 := nowNS()
+			n.recordControl(int(f.src))
+			if t1, t2, ok := decodePong(f.payload); ok {
+				n.observeClockSample(t1, t2, f.sendNS, t4)
+			}
 		default:
 			n.fail(fmt.Errorf("wire: node %d: unknown frame type %d", n.index, f.typ))
 			return
@@ -331,6 +382,8 @@ type peer struct {
 	writing bool
 	closed  bool
 	err     error
+	frames  int64 // frames ever enqueued
+	peak    int64 // queue-depth high-water mark
 }
 
 func newPeer(conn net.Conn) *peer {
@@ -344,9 +397,20 @@ func (p *peer) enqueue(b []byte) {
 	p.mu.Lock()
 	if !p.closed && p.err == nil {
 		p.queue = append(p.queue, b)
+		p.frames++
+		if d := int64(len(p.queue)); d > p.peak {
+			p.peak = d
+		}
 	}
 	p.cond.Broadcast()
 	p.mu.Unlock()
+}
+
+// stats snapshots the writer's frame counter and queue gauges.
+func (p *peer) stats() (frames, depth, peak int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.frames, int64(len(p.queue)), p.peak
 }
 
 func (p *peer) writeLoop() {

@@ -79,6 +79,8 @@ func pupSample(p *pup.PUPer, s *telemetry.Sample) {
 	pupInt64(p, &s.ExchangeBytes)
 	pupDuration(p, &s.ExchangeOverlap)
 	p.String(&s.Decision)
+	pupInt64(p, &s.WallStartNS)
+	pupInt64(p, &s.ClockOffsetNS)
 }
 
 func pupRankTimeline(p *pup.PUPer, t *rankTimeline) {

@@ -282,6 +282,12 @@ type Result struct {
 	// Timeline is the merged per-step, per-rank telemetry when
 	// cfg.Telemetry was set, nil otherwise.
 	Timeline *telemetry.Timeline
+	// Wire is the merged wire-transport accounting (per-peer frame counters,
+	// one-way latency histograms, clock offsets) for socket-transport runs
+	// where the caller owns every node (the in-process loopback cluster);
+	// nil for in-process transport and for multi-process workers, whose
+	// coordinator queries its own node directly.
+	Wire *telemetry.WireReport
 }
 
 // MaxParticlesHighWater returns the largest per-rank high-water mark.

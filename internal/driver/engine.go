@@ -135,6 +135,11 @@ func (e *Engine) runWire(network string, p int) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	if e.Cfg.Live != nil {
+		for _, n := range nodes {
+			e.Cfg.Live.AddWireSource(n.WireReport)
+		}
+	}
 	results := make([]*Result, p)
 	errs := make([]error, p)
 	var wg sync.WaitGroup
@@ -150,6 +155,15 @@ func (e *Engine) runWire(network string, p int) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
+	}
+	if results[0] != nil {
+		// Every node lives in this process, so rank 0's result can carry the
+		// whole cluster's wire accounting (all peers, all offsets).
+		rep := &telemetry.WireReport{}
+		for _, n := range nodes {
+			rep.Merge(n.WireReport())
+		}
+		results[0].Wire = rep
 	}
 	return results[0], nil
 }
@@ -183,12 +197,22 @@ func (e *Engine) runRank(c *comm.Comm) (*Result, error) {
 	sampling := ring != nil || cfg.Live != nil
 	var prevMigrations int
 	var prevBytes, prevXBytes int64
+	var lastWall int64
 
 	interval := bal.Interval()
 	needs := bal.Needs()
 	for step := 1; step <= cfg.Steps; step++ {
 		if sampling {
 			rec.StartStep()
+			// Stamp the step start on the transport's offset-corrected wall
+			// clock, clamped monotone per rank so the wall-clock Chrome trace
+			// never renders a span that starts before its predecessor even if
+			// a resync shifts the offset mid-run.
+			if w := c.WallClockNS(); w > lastWall {
+				lastWall = w
+			} else {
+				lastWall++
+			}
 		}
 		decision := ""
 		if err := sub.MoveExchange(rec); err != nil {
@@ -249,6 +273,8 @@ func (e *Engine) runRank(c *comm.Comm) (*Result, error) {
 				ExchangeBytes:   xbytes - prevXBytes,
 				ExchangeOverlap: rec.SnapshotOverlap(),
 				Decision:        decision,
+				WallStartNS:     lastWall,
+				ClockOffsetNS:   c.ClockOffsetNS(),
 			}
 			prevMigrations, prevBytes, prevXBytes = migrations, bytes, xbytes
 			ring.Append(s)

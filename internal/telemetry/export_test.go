@@ -78,10 +78,11 @@ func TestReadJSONLRejectsDrift(t *testing.T) {
 }
 
 // TestReadJSONLAcceptsLegacy pins backward compatibility: each schema bump
-// only added optional fields (v2: exchange_bytes, v3: exchange_overlap_ns),
-// so older timelines must still parse, with absent fields reading as zero.
+// only added optional fields (v2: exchange_bytes, v3: exchange_overlap_ns,
+// v4: wall_start_ns/clock_offset_ns), so older timelines must still parse,
+// with absent fields reading as zero.
 func TestReadJSONLAcceptsLegacy(t *testing.T) {
-	for _, schema := range []string{"picprk/timeline/v1", "picprk/timeline/v2"} {
+	for _, schema := range []string{"picprk/timeline/v1", "picprk/timeline/v2", "picprk/timeline/v3"} {
 		in := `{"schema":"` + schema + `","impl":"x","ranks":1,"steps":1}` + "\n" +
 			`{"step":1,"rank":0,"phase_ns":{"compute":5},"particles":1}` + "\n"
 		tl, err := ReadJSONL(strings.NewReader(in))
@@ -91,6 +92,32 @@ func TestReadJSONLAcceptsLegacy(t *testing.T) {
 		if len(tl.Samples) != 1 || tl.Samples[0].ExchangeBytes != 0 || tl.Samples[0].ExchangeOverlap != 0 {
 			t.Errorf("%s sample parsed wrong: %+v", schema, tl.Samples)
 		}
+		if tl.Samples[0].WallStartNS != 0 || tl.Samples[0].ClockOffsetNS != 0 {
+			t.Errorf("%s sample invented wall stamps: %+v", schema, tl.Samples)
+		}
+	}
+}
+
+// TestMarshalSampleRoundTrip pins the per-sample JSON the /events SSE
+// stream carries: identical to a v4 timeline line, and parseable back by
+// UnmarshalSample (which is what picstat -follow does).
+func TestMarshalSampleRoundTrip(t *testing.T) {
+	tl := fixtureTimeline()
+	for i := range tl.Samples {
+		b, err := MarshalSample(&tl.Samples[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := UnmarshalSample(b)
+		if err != nil {
+			t.Fatalf("sample %d: %v\njson: %s", i, err, b)
+		}
+		if !reflect.DeepEqual(got, tl.Samples[i]) {
+			t.Errorf("sample %d round trip drifted:\nwrote %+v\nread  %+v", i, tl.Samples[i], got)
+		}
+	}
+	if _, err := UnmarshalSample([]byte(`{"phase_ns":{"warp":5}}`)); err == nil {
+		t.Error("unknown phase name accepted")
 	}
 }
 
@@ -186,5 +213,74 @@ func TestChromeTraceBSPAlignment(t *testing.T) {
 	// Step 1's slowest rank takes 7ms → step 2 starts at 7000µs.
 	if got := stepStart[2]; got != 7000 {
 		t.Errorf("step 2 starts at %vµs, want 7000 (slowest rank of step 1)", got)
+	}
+}
+
+func TestChromeTraceWallGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTraceClock(&buf, fixtureTimeline(), ClockWall); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "chrome_wall.golden.json", buf.Bytes())
+}
+
+// TestChromeTraceWallClock pins the wall-clock layout: spans anchor at each
+// sample's recorded WallStartNS shifted to a zero base, per-rank timestamps
+// are monotone with non-negative durations (the CI round-trip asserts the
+// same on a real 2-rank TCP run), and the fixture's 200µs cross-rank skew
+// survives into the trace instead of being synthesized away.
+func TestChromeTraceWallClock(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTraceClock(&buf, fixtureTimeline(), ClockWall); err != nil {
+		t.Fatal(err)
+	}
+	var top struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &top); err != nil {
+		t.Fatal(err)
+	}
+	last := map[int]float64{}
+	computeStart := map[int]map[int]float64{} // step -> rank -> ts
+	for _, ev := range top.TraceEvents {
+		if ev.Ph != "X" {
+			continue
+		}
+		if ev.Dur < 0 {
+			t.Fatalf("negative duration span: %+v", ev)
+		}
+		if ev.TS < last[ev.TID] {
+			t.Fatalf("rank %d timestamps went backwards: %v after %v", ev.TID, ev.TS, last[ev.TID])
+		}
+		last[ev.TID] = ev.TS
+		if ev.Name == trace.Compute.String() {
+			step := int(ev.Args["step"].(float64))
+			if computeStart[step] == nil {
+				computeStart[step] = map[int]float64{}
+			}
+			computeStart[step][ev.TID] = ev.TS
+		}
+	}
+	if len(last) != 2 {
+		t.Fatalf("spans on %d ranks, want 2", len(last))
+	}
+	// Rank 0's first step anchors the base (ts 0); rank 1 starts 200µs later.
+	if computeStart[1][0] != 0 || computeStart[1][1] != 200 {
+		t.Errorf("step 1 starts at rank0=%vµs rank1=%vµs, want 0 and 200 (recorded skew)",
+			computeStart[1][0], computeStart[1][1])
+	}
+	// Step 2 starts at the recorded 10ms boundary, not the BSP 7ms one.
+	if computeStart[2][0] != 10000 {
+		t.Errorf("step 2 rank 0 starts at %vµs, want 10000 (wall clock, not BSP)", computeStart[2][0])
+	}
+
+	// A timeline without wall stamps (pre-v4, or serial runs of older
+	// builds) must be refused, pointing at the BSP clock.
+	bare := New("x", 1, 1, []Sample{{Step: 1, Rank: 0, Particles: 1}})
+	if err := WriteChromeTraceClock(&buf, bare, ClockWall); err == nil {
+		t.Error("wall-clock export accepted a timeline with no wall stamps")
+	}
+	if err := WriteChromeTraceClock(&buf, fixtureTimeline(), "lunar"); err == nil {
+		t.Error("unknown clock accepted")
 	}
 }

@@ -12,16 +12,18 @@ import (
 
 // Schema identifies the timeline wire format. Readers reject any other
 // value, so an incompatible change must bump the version — the CI
-// round-trip job fails on silent drift. v3 added the per-step
-// exchange_overlap_ns field (v2 added exchange_bytes); older files are
-// still readable (absent fields read as 0).
-const Schema = "picprk/timeline/v3"
+// round-trip job fails on silent drift. v4 added the wall_start_ns and
+// clock_offset_ns fields that anchor samples on rank 0's wall clock (v3
+// added exchange_overlap_ns, v2 exchange_bytes); older files are still
+// readable (absent fields read as 0).
+const Schema = "picprk/timeline/v4"
 
 // legacySchemas are the previous wire formats, accepted on read: each later
 // version only added optional fields, so older files parse unchanged.
 var legacySchemas = map[string]bool{
 	"picprk/timeline/v1": true,
 	"picprk/timeline/v2": true,
+	"picprk/timeline/v3": true,
 }
 
 // metaJSON is the first line of a timeline file.
@@ -45,7 +47,80 @@ type sampleJSON struct {
 	Bytes      int64            `json:"bytes,omitempty"`
 	XBytes     int64            `json:"exchange_bytes,omitempty"`
 	OverlapNS  int64            `json:"exchange_overlap_ns,omitempty"`
+	WallNS     int64            `json:"wall_start_ns,omitempty"`
+	OffsetNS   int64            `json:"clock_offset_ns,omitempty"`
 	Decision   string           `json:"decision,omitempty"`
+}
+
+// sampleLine converts a Sample to its wire form.
+func sampleLine(s *Sample) sampleJSON {
+	line := sampleJSON{
+		Step:       s.Step,
+		Rank:       s.Rank,
+		PhaseNS:    make(map[string]int64, trace.NumPhases),
+		Particles:  s.Particles,
+		Migrations: s.Migrations,
+		Bytes:      s.Bytes,
+		XBytes:     s.ExchangeBytes,
+		OverlapNS:  s.ExchangeOverlap.Nanoseconds(),
+		WallNS:     s.WallStartNS,
+		OffsetNS:   s.ClockOffsetNS,
+		Decision:   s.Decision,
+	}
+	for _, p := range trace.Phases() {
+		line.PhaseNS[p.String()] = s.Phases[p].Nanoseconds()
+	}
+	return line
+}
+
+// lineSample converts a wire-form sample back, validating phase names.
+func lineSample(sj *sampleJSON) (Sample, error) {
+	s := Sample{
+		Step:            sj.Step,
+		Rank:            sj.Rank,
+		Particles:       sj.Particles,
+		Migrations:      sj.Migrations,
+		Bytes:           sj.Bytes,
+		ExchangeBytes:   sj.XBytes,
+		ExchangeOverlap: time.Duration(sj.OverlapNS),
+		WallStartNS:     sj.WallNS,
+		ClockOffsetNS:   sj.OffsetNS,
+		Decision:        sj.Decision,
+	}
+	for name, ns := range sj.PhaseNS {
+		p, ok := phaseByName(name)
+		if !ok {
+			return Sample{}, fmt.Errorf("telemetry: unknown phase %q", name)
+		}
+		s.Phases[p] = time.Duration(ns)
+	}
+	return s, nil
+}
+
+func phaseByName(name string) (trace.Phase, bool) {
+	for _, p := range trace.Phases() {
+		if p.String() == name {
+			return p, true
+		}
+	}
+	return 0, false
+}
+
+// MarshalSample renders one sample as a single JSON line (no trailing
+// newline) in exactly the v4 per-sample schema — the payload of the live
+// /events SSE stream.
+func MarshalSample(s *Sample) ([]byte, error) {
+	return json.Marshal(sampleLine(s))
+}
+
+// UnmarshalSample parses a single sample line produced by MarshalSample or
+// found in a timeline file (meta lines are not samples).
+func UnmarshalSample(b []byte) (Sample, error) {
+	var sj sampleJSON
+	if err := json.Unmarshal(b, &sj); err != nil {
+		return Sample{}, err
+	}
+	return lineSample(&sj)
 }
 
 // WriteJSONL writes the timeline as JSON Lines: one meta object, then one
@@ -58,22 +133,7 @@ func WriteJSONL(w io.Writer, tl *Timeline) error {
 		return err
 	}
 	for i := range tl.Samples {
-		s := &tl.Samples[i]
-		line := sampleJSON{
-			Step:       s.Step,
-			Rank:       s.Rank,
-			PhaseNS:    make(map[string]int64, trace.NumPhases),
-			Particles:  s.Particles,
-			Migrations: s.Migrations,
-			Bytes:      s.Bytes,
-			XBytes:     s.ExchangeBytes,
-			OverlapNS:  s.ExchangeOverlap.Nanoseconds(),
-			Decision:   s.Decision,
-		}
-		for _, p := range trace.Phases() {
-			line.PhaseNS[p.String()] = s.Phases[p].Nanoseconds()
-		}
-		if err := enc.Encode(line); err != nil {
+		if err := enc.Encode(sampleLine(&tl.Samples[i])); err != nil {
 			return err
 		}
 	}
@@ -83,10 +143,6 @@ func WriteJSONL(w io.Writer, tl *Timeline) error {
 // ReadJSONL parses a timeline written by WriteJSONL, validating the schema
 // version and every phase name.
 func ReadJSONL(r io.Reader) (*Timeline, error) {
-	byName := make(map[string]trace.Phase, trace.NumPhases)
-	for _, p := range trace.Phases() {
-		byName[p.String()] = p
-	}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
 	if !sc.Scan() {
@@ -111,22 +167,9 @@ func ReadJSONL(r io.Reader) (*Timeline, error) {
 		if err := json.Unmarshal(sc.Bytes(), &sj); err != nil {
 			return nil, fmt.Errorf("telemetry: line %d: %w", line, err)
 		}
-		s := Sample{
-			Step:            sj.Step,
-			Rank:            sj.Rank,
-			Particles:       sj.Particles,
-			Migrations:      sj.Migrations,
-			Bytes:           sj.Bytes,
-			ExchangeBytes:   sj.XBytes,
-			ExchangeOverlap: time.Duration(sj.OverlapNS),
-			Decision:        sj.Decision,
-		}
-		for name, ns := range sj.PhaseNS {
-			p, ok := byName[name]
-			if !ok {
-				return nil, fmt.Errorf("telemetry: line %d: unknown phase %q", line, name)
-			}
-			s.Phases[p] = time.Duration(ns)
+		s, err := lineSample(&sj)
+		if err != nil {
+			return nil, fmt.Errorf("telemetry: line %d: %w", line, err)
 		}
 		tl.Samples = append(tl.Samples, s)
 	}

@@ -3,6 +3,7 @@ package telemetry
 import (
 	"fmt"
 	"io"
+	"sync"
 	"sync/atomic"
 
 	"github.com/parres/picprk/internal/stats"
@@ -24,6 +25,29 @@ type Live struct {
 	bytes      []atomic.Int64
 	xbytes     []atomic.Int64
 	overlapNS  []atomic.Int64
+
+	// stream fans observed samples out to /events subscribers; Publish is a
+	// single atomic load when nobody is listening, so Observe stays
+	// allocation-free on the sampling path.
+	stream Stream
+
+	// mu guards the scrape-time extras: run identity for /healthz and the
+	// wire-transport stat sources rendered by WritePrometheus.
+	mu          sync.Mutex
+	info        RunInfo
+	wireSources []func() WireReport
+}
+
+// RunInfo identifies the run behind a Live aggregate, served by /healthz.
+type RunInfo struct {
+	// Impl is the driver label ("serial", "diffusion", ...).
+	Impl string `json:"impl,omitempty"`
+	// Transport names the comm substrate ("inproc", "tcp", "unix").
+	Transport string `json:"transport,omitempty"`
+	// World is the world rank count; LocalRanks how many of them this
+	// process hosts (equal in-process, a subset in multi-process runs).
+	World      int `json:"world,omitempty"`
+	LocalRanks int `json:"local_ranks,omitempty"`
 }
 
 // NewLive returns a Live aggregate for the given rank count.
@@ -58,6 +82,68 @@ func (l *Live) Observe(s Sample) {
 	l.bytes[s.Rank].Add(s.Bytes)
 	l.xbytes[s.Rank].Add(s.ExchangeBytes)
 	l.overlapNS[s.Rank].Add(s.ExchangeOverlap.Nanoseconds())
+	l.stream.Publish(s)
+}
+
+// Stream returns the live sample stream (/events subscribes to it); nil on
+// a nil aggregate, which Subscribe and Publish tolerate.
+func (l *Live) Stream() *Stream {
+	if l == nil {
+		return nil
+	}
+	return &l.stream
+}
+
+// Step returns the most recently observed simulation step.
+func (l *Live) Step() int64 {
+	if l == nil {
+		return 0
+	}
+	return l.step.Load()
+}
+
+// SetRunInfo records the run identity served by /healthz.
+func (l *Live) SetRunInfo(ri RunInfo) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.info = ri
+	l.mu.Unlock()
+}
+
+// Info returns the recorded run identity.
+func (l *Live) Info() RunInfo {
+	if l == nil {
+		return RunInfo{}
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.info
+}
+
+// AddWireSource registers a callback that snapshots wire-transport stats
+// (typically a wire.Node's WireReport method); WritePrometheus merges every
+// source at scrape time. Safe to call while scrapes run.
+func (l *Live) AddWireSource(fn func() WireReport) {
+	if l == nil || fn == nil {
+		return
+	}
+	l.mu.Lock()
+	l.wireSources = append(l.wireSources, fn)
+	l.mu.Unlock()
+}
+
+// wireReport merges every registered source's snapshot.
+func (l *Live) wireReport() WireReport {
+	l.mu.Lock()
+	sources := l.wireSources
+	l.mu.Unlock()
+	rep := WireReport{Offsets: map[int]int64{}}
+	for _, fn := range sources {
+		rep.Merge(fn())
+	}
+	return rep
 }
 
 // WritePrometheus renders the aggregate in the Prometheus text exposition
@@ -107,4 +193,72 @@ func (l *Live) WritePrometheus(w io.Writer) {
 
 	sum := stats.Summarize(loads)
 	fmt.Fprintf(w, "# HELP picprk_imbalance_ratio Max over mean particle load (1.0 = perfect balance).\n# TYPE picprk_imbalance_ratio gauge\npicprk_imbalance_ratio %g\n", sum.Imbalance)
+
+	l.writeWirePrometheus(w)
+}
+
+// writeWirePrometheus renders the wire-transport stats (frame counters,
+// writer-queue gauges, one-way latency histograms, clock offsets) when any
+// wire source is registered; in-process runs emit nothing here.
+func (l *Live) writeWirePrometheus(w io.Writer) {
+	rep := l.wireReport()
+	if len(rep.Peers) == 0 && len(rep.Offsets) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "# HELP picprk_wire_clock_offset_seconds Estimated offset of node 0's clock minus this node's (NTP-style min-RTT sample).\n# TYPE picprk_wire_clock_offset_seconds gauge\n")
+	for _, node := range intKeysSorted(rep.Offsets) {
+		fmt.Fprintf(w, "picprk_wire_clock_offset_seconds{node=\"%d\"} %g\n", node, float64(rep.Offsets[node])/1e9)
+	}
+	fmt.Fprintf(w, "# HELP picprk_wire_frames_sent_total Frames enqueued on the writer toward each peer node.\n# TYPE picprk_wire_frames_sent_total counter\n")
+	for i := range rep.Peers {
+		p := &rep.Peers[i]
+		fmt.Fprintf(w, "picprk_wire_frames_sent_total{node=\"%d\",peer=\"%d\"} %d\n", p.Node, p.Peer, p.FramesSent)
+	}
+	fmt.Fprintf(w, "# HELP picprk_wire_frames_received_total Frames read from each peer node.\n# TYPE picprk_wire_frames_received_total counter\n")
+	for i := range rep.Peers {
+		p := &rep.Peers[i]
+		fmt.Fprintf(w, "picprk_wire_frames_received_total{node=\"%d\",peer=\"%d\"} %d\n", p.Node, p.Peer, p.FramesRecv)
+	}
+	fmt.Fprintf(w, "# HELP picprk_wire_send_queue_depth Writer-queue frames currently pending toward each peer node.\n# TYPE picprk_wire_send_queue_depth gauge\n")
+	for i := range rep.Peers {
+		p := &rep.Peers[i]
+		fmt.Fprintf(w, "picprk_wire_send_queue_depth{node=\"%d\",peer=\"%d\"} %d\n", p.Node, p.Peer, p.QueueDepth)
+	}
+	fmt.Fprintf(w, "# HELP picprk_wire_send_queue_peak High-water mark of the writer queue toward each peer node.\n# TYPE picprk_wire_send_queue_peak gauge\n")
+	for i := range rep.Peers {
+		p := &rep.Peers[i]
+		fmt.Fprintf(w, "picprk_wire_send_queue_peak{node=\"%d\",peer=\"%d\"} %d\n", p.Node, p.Peer, p.QueuePeak)
+	}
+	fmt.Fprintf(w, "# HELP picprk_wire_latency_seconds One-way data-frame latency from each peer node (send stamp vs offset-corrected receive; includes the sender's queue wait).\n# TYPE picprk_wire_latency_seconds histogram\n")
+	for i := range rep.Peers {
+		p := &rep.Peers[i]
+		if p.OneWay.Count() == 0 {
+			continue
+		}
+		var cum int64
+		for b := 0; b < LatencyBuckets; b++ {
+			cum += p.OneWay.Counts[b]
+			le := "+Inf"
+			if up := LatencyBucketUpperNS(b); up >= 0 {
+				le = fmt.Sprintf("%g", float64(up)/1e9)
+			}
+			fmt.Fprintf(w, "picprk_wire_latency_seconds_bucket{node=\"%d\",peer=\"%d\",le=\"%s\"} %d\n", p.Node, p.Peer, le, cum)
+		}
+		fmt.Fprintf(w, "picprk_wire_latency_seconds_sum{node=\"%d\",peer=\"%d\"} %g\n", p.Node, p.Peer, float64(p.OneWay.SumNS)/1e9)
+		fmt.Fprintf(w, "picprk_wire_latency_seconds_count{node=\"%d\",peer=\"%d\"} %d\n", p.Node, p.Peer, p.OneWay.Count())
+	}
+}
+
+// intKeysSorted yields a map's keys in ascending order (stable scrapes).
+func intKeysSorted(m map[int]int64) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
 }

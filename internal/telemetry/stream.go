@@ -1,0 +1,100 @@
+package telemetry
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Stream fans per-step samples out to live subscribers (the /events SSE
+// endpoint, tests). It follows the package's zero-cost-when-off discipline:
+// Publish with no subscribers is one atomic load and nothing else, so the
+// engine's sampling path stays allocation-free unless someone is actually
+// watching; a nil *Stream ignores everything.
+//
+// Slow subscribers do not apply backpressure to the simulation: each
+// subscription has a bounded buffer and samples that do not fit are dropped
+// for that subscriber only. A live view that lags reality by a few dropped
+// samples is correct behavior for a tail — the timeline file is the
+// lossless record.
+type Stream struct {
+	subs   atomic.Int32 // subscriber count, checked lock-free by Publish
+	mu     sync.Mutex
+	chans  map[chan Sample]struct{}
+	closed bool
+}
+
+// Publish offers one sample to every subscriber, dropping it for any whose
+// buffer is full. No-op (and allocation-free) without subscribers.
+func (st *Stream) Publish(s Sample) {
+	if st == nil || st.subs.Load() == 0 {
+		return
+	}
+	st.mu.Lock()
+	for ch := range st.chans {
+		select {
+		case ch <- s:
+		default:
+		}
+	}
+	st.mu.Unlock()
+}
+
+// Subscribe registers a subscriber with the given buffer capacity (minimum
+// 1) and returns its channel plus a cancel function. The channel closes when
+// the subscription is canceled or the stream shuts down; on an
+// already-closed stream the returned channel is closed immediately.
+func (st *Stream) Subscribe(buf int) (<-chan Sample, func()) {
+	if buf < 1 {
+		buf = 1
+	}
+	ch := make(chan Sample, buf)
+	if st == nil {
+		close(ch)
+		return ch, func() {}
+	}
+	st.mu.Lock()
+	if st.closed {
+		st.mu.Unlock()
+		close(ch)
+		return ch, func() {}
+	}
+	if st.chans == nil {
+		st.chans = make(map[chan Sample]struct{})
+	}
+	st.chans[ch] = struct{}{}
+	st.subs.Store(int32(len(st.chans)))
+	st.mu.Unlock()
+	var once sync.Once
+	cancel := func() {
+		once.Do(func() {
+			st.mu.Lock()
+			if _, ok := st.chans[ch]; ok {
+				delete(st.chans, ch)
+				close(ch)
+			}
+			st.subs.Store(int32(len(st.chans)))
+			st.mu.Unlock()
+		})
+	}
+	return ch, cancel
+}
+
+// Close shuts the stream down: every subscriber channel closes (so blocked
+// SSE handlers return) and future Subscribes get a closed channel. It is
+// idempotent and part of Serve's shutdown path — the goroutine-leak test
+// pins that no handler survives it.
+func (st *Stream) Close() {
+	if st == nil {
+		return
+	}
+	st.mu.Lock()
+	if !st.closed {
+		st.closed = true
+		for ch := range st.chans {
+			close(ch)
+		}
+		st.chans = nil
+		st.subs.Store(0)
+	}
+	st.mu.Unlock()
+}

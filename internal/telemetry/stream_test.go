@@ -1,0 +1,191 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestStreamPublishSubscribe(t *testing.T) {
+	var st Stream
+	ch, cancel := st.Subscribe(8)
+	for step := 1; step <= 3; step++ {
+		st.Publish(Sample{Step: step})
+	}
+	for want := 1; want <= 3; want++ {
+		select {
+		case s := <-ch:
+			if s.Step != want {
+				t.Fatalf("got step %d, want %d", s.Step, want)
+			}
+		case <-time.After(time.Second):
+			t.Fatalf("sample %d never arrived", want)
+		}
+	}
+	cancel()
+	if _, open := <-ch; open {
+		t.Fatal("channel still open after cancel")
+	}
+	st.Publish(Sample{Step: 4}) // must not panic or block
+	cancel()                    // idempotent
+}
+
+func TestStreamDropsSlowSubscriber(t *testing.T) {
+	var st Stream
+	ch, cancel := st.Subscribe(1)
+	defer cancel()
+	for step := 1; step <= 5; step++ {
+		st.Publish(Sample{Step: step})
+	}
+	s := <-ch
+	if s.Step != 1 {
+		t.Fatalf("kept step %d, want the first", s.Step)
+	}
+	select {
+	case s := <-ch:
+		t.Fatalf("unexpected buffered sample %d (buffer is 1)", s.Step)
+	default:
+	}
+}
+
+func TestStreamCloseWakesSubscribers(t *testing.T) {
+	var st Stream
+	ch, _ := st.Subscribe(1)
+	st.Close()
+	select {
+	case _, open := <-ch:
+		if open {
+			t.Fatal("expected closed channel")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Close did not wake the subscriber")
+	}
+	// Late subscribers get an already-closed channel, and a nil stream is a
+	// no-op everywhere.
+	late, cancel := st.Subscribe(1)
+	if _, open := <-late; open {
+		t.Fatal("subscribe after close returned a live channel")
+	}
+	cancel()
+	var nilStream *Stream
+	nilStream.Publish(Sample{})
+	nilStream.Close()
+	nch, ncancel := nilStream.Subscribe(1)
+	if _, open := <-nch; open {
+		t.Fatal("nil stream returned a live channel")
+	}
+	ncancel()
+}
+
+// TestStreamPublishIdleAllocationFree pins the zero-cost-when-off rule for
+// the streaming hook on Live.Observe: publishing with no subscribers is one
+// atomic load.
+func TestStreamPublishIdleAllocationFree(t *testing.T) {
+	live := NewLive(1)
+	if avg := testing.AllocsPerRun(100, func() {
+		live.Observe(Sample{Step: 1, Rank: 0})
+	}); avg != 0 {
+		t.Errorf("idle stream publish: %v allocs per observe, want 0", avg)
+	}
+}
+
+// TestServeEventsAndHealthz drives the full HTTP surface end to end: an SSE
+// client subscribed to /events receives samples observed while it is
+// connected, /healthz reports the run identity and step, and Serve's stop
+// function terminates the SSE stream.
+func TestServeEventsAndHealthz(t *testing.T) {
+	live := NewLive(2)
+	live.SetRunInfo(RunInfo{Impl: "diffusion", Transport: "tcp", World: 2, LocalRanks: 1})
+	addr, stop, err := Serve("127.0.0.1:0", live)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get("http://" + addr + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type %q", ct)
+	}
+
+	// The initial comment is flushed on connect, so once headers are in the
+	// subscription exists; observe two samples and read them back.
+	sc := bufio.NewScanner(resp.Body)
+	tl := fixtureTimeline()
+	go func() {
+		for i := range tl.Samples[:2] {
+			live.Observe(tl.Samples[i])
+		}
+	}()
+	var got []Sample
+	deadline := time.After(5 * time.Second)
+	for len(got) < 2 {
+		lineCh := make(chan string, 1)
+		go func() {
+			if sc.Scan() {
+				lineCh <- sc.Text()
+			} else {
+				lineCh <- ""
+			}
+		}()
+		select {
+		case line := <-lineCh:
+			if data, ok := strings.CutPrefix(line, "data: "); ok {
+				s, err := UnmarshalSample([]byte(data))
+				if err != nil {
+					t.Fatalf("bad SSE sample %q: %v", data, err)
+				}
+				got = append(got, s)
+			}
+		case <-deadline:
+			t.Fatalf("timed out waiting for SSE samples; got %d", len(got))
+		}
+	}
+	if got[0].Step != tl.Samples[0].Step || got[0].WallStartNS != tl.Samples[0].WallStartNS {
+		t.Errorf("first streamed sample drifted: %+v vs %+v", got[0], tl.Samples[0])
+	}
+
+	hresp, err := http.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hz struct {
+		Status    string `json:"status"`
+		Step      int64  `json:"step"`
+		Impl      string `json:"impl"`
+		Transport string `json:"transport"`
+		World     int    `json:"world"`
+		Local     int    `json:"local_ranks"`
+	}
+	if err := json.NewDecoder(hresp.Body).Decode(&hz); err != nil {
+		t.Fatal(err)
+	}
+	hresp.Body.Close()
+	if hz.Status != "ok" || hz.Impl != "diffusion" || hz.Transport != "tcp" || hz.World != 2 || hz.Local != 1 {
+		t.Errorf("healthz %+v", hz)
+	}
+	if hz.Step != int64(tl.Samples[1].Step) {
+		t.Errorf("healthz step %d, want %d", hz.Step, tl.Samples[1].Step)
+	}
+
+	// stop() closes the stream first, so the SSE response ends promptly.
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		for sc.Scan() {
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("SSE stream did not terminate after server stop")
+	}
+}

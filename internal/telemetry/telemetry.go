@@ -51,6 +51,17 @@ type Sample struct {
 	// overlap/(overlap+exchange) is how much of the exchange the pipeline
 	// hid behind compute.
 	ExchangeOverlap time.Duration
+	// WallStartNS is the wall-clock time this rank began the step, in
+	// nanoseconds on the world's common timeline (rank 0's clock; the wire
+	// transport offset-corrects it, see Comm.WallClockNS). Zero when the
+	// recording side predates the field or deliberately omits it. The
+	// engine clamps it monotone per rank, so equal-rank samples sort by
+	// wall time even if a mid-run offset update stepped the clock back.
+	WallStartNS int64
+	// ClockOffsetNS is the recording process's estimated clock offset to
+	// rank 0's clock at sampling time (already folded into WallStartNS; kept
+	// so cross-rank skew is visible in the timeline itself).
+	ClockOffsetNS int64
 	// Decision is the balancer's history line when a plan executed this
 	// step, empty otherwise. Plans are identical on every rank, so readers
 	// normally take rank 0's.

@@ -74,18 +74,28 @@ func fixtureTimeline() *Timeline {
 		return s
 	}
 	ms := time.Millisecond
-	return New("diffusion", 2, 3,
-		[]Sample{
-			mk(1, 0, 2*ms, 1*ms, 0, 0, 1*ms, 100, 0, 0, 4096, ""),
-			mk(2, 0, 2*ms, 1*ms, 1*ms, 3*ms, 0, 150, 1, 2048, 2128, "step=2 x=[0 5 8]"),
-			mk(3, 0, 3*ms, 1*ms, 0, 0, 0, 200, 0, 0, 128, ""),
-		},
-		[]Sample{
-			mk(1, 1, 6*ms, 1*ms, 0, 0, 500*time.Microsecond, 300, 0, 0, 8192, ""),
-			mk(2, 1, 5*ms, 1*ms, 1*ms, 2*ms, 0, 250, 1, 1024, 1648, "step=2 x=[0 5 8]"),
-			mk(3, 1, 3*ms, 1*ms, 0, 0, 0, 200, 0, 0, 128, ""),
-		},
-	)
+	rank0 := []Sample{
+		mk(1, 0, 2*ms, 1*ms, 0, 0, 1*ms, 100, 0, 0, 4096, ""),
+		mk(2, 0, 2*ms, 1*ms, 1*ms, 3*ms, 0, 150, 1, 2048, 2128, "step=2 x=[0 5 8]"),
+		mk(3, 0, 3*ms, 1*ms, 0, 0, 0, 200, 0, 0, 128, ""),
+	}
+	rank1 := []Sample{
+		mk(1, 1, 6*ms, 1*ms, 0, 0, 500*time.Microsecond, 300, 0, 0, 8192, ""),
+		mk(2, 1, 5*ms, 1*ms, 1*ms, 2*ms, 0, 250, 1, 1024, 1648, "step=2 x=[0 5 8]"),
+		mk(3, 1, 3*ms, 1*ms, 0, 0, 0, 200, 0, 0, 128, ""),
+	}
+	// Wall stamps on a fixed epoch: rank 1's process clock runs 150µs behind
+	// rank 0's, so its corrected stamps carry the offset and its steps start
+	// 200µs after rank 0's (visible skew in the wall-clock trace).
+	const wallBase = int64(1_700_000_000_000_000_000)
+	for i := range rank0 {
+		rank0[i].WallStartNS = wallBase + int64(i)*10_000_000
+	}
+	for i := range rank1 {
+		rank1[i].WallStartNS = wallBase + int64(i)*10_000_000 + 200_000
+		rank1[i].ClockOffsetNS = 150_000
+	}
+	return New("diffusion", 2, 3, rank0, rank1)
 }
 
 func TestStepStats(t *testing.T) {

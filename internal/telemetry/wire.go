@@ -1,0 +1,143 @@
+package telemetry
+
+import "fmt"
+
+// Wire-transport observability types. The wire transport (internal/comm/wire)
+// counts frames, tracks writer-queue depth, and histograms the one-way
+// latency of every data frame it receives (sender's offset-corrected send
+// stamp vs the receiver's offset-corrected clock); this file is the neutral
+// vocabulary it reports those numbers in, so telemetry does not import the
+// transport and the transport does not know about Prometheus.
+
+// LatencyBuckets is the number of power-of-two latency histogram buckets.
+// Bucket i counts observations in [2^i µs-ish, 2^(i+1)) — precisely, bucket i
+// has upper bound LatencyBucketUpperNS(i) = 1024ns << i, except the last
+// bucket which is unbounded. That spans ~1µs to ~4s, plenty for a socket.
+const LatencyBuckets = 24
+
+// LatencyBucketUpperNS returns bucket i's exclusive upper bound in
+// nanoseconds, or -1 for the final (unbounded) bucket.
+func LatencyBucketUpperNS(i int) int64 {
+	if i >= LatencyBuckets-1 {
+		return -1
+	}
+	return 1024 << uint(i)
+}
+
+// LatencyBucket maps a non-negative latency in nanoseconds to its bucket.
+func LatencyBucket(ns int64) int {
+	b := 0
+	for upper := int64(1024); b < LatencyBuckets-1 && ns >= upper; b, upper = b+1, upper<<1 {
+	}
+	return b
+}
+
+// LatencyHist is a snapshot of a power-of-two latency histogram.
+type LatencyHist struct {
+	Counts [LatencyBuckets]int64
+	SumNS  int64
+}
+
+// Count returns the total number of observations.
+func (h *LatencyHist) Count() int64 {
+	var n int64
+	for _, c := range h.Counts {
+		n += c
+	}
+	return n
+}
+
+// Merge adds another histogram's observations into h.
+func (h *LatencyHist) Merge(o LatencyHist) {
+	for i, c := range o.Counts {
+		h.Counts[i] += c
+	}
+	h.SumNS += o.SumNS
+}
+
+// Quantile returns an upper-bound estimate (in ns) of the q-quantile
+// (0 < q <= 1): the upper edge of the bucket holding that rank, or the lower
+// edge for the unbounded last bucket. Returns 0 on an empty histogram.
+func (h *LatencyHist) Quantile(q float64) int64 {
+	total := h.Count()
+	if total == 0 {
+		return 0
+	}
+	rank := int64(q * float64(total))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i, c := range h.Counts {
+		seen += c
+		if seen >= rank {
+			if up := LatencyBucketUpperNS(i); up >= 0 {
+				return up
+			}
+			return 1024 << uint(LatencyBuckets-2) // lower edge of the unbounded bucket
+		}
+	}
+	return 0
+}
+
+// PeerWire is one node's accounting for one peer connection.
+type PeerWire struct {
+	Node int // observing node index
+	Peer int // peer node index
+	// FramesSent counts frames enqueued on the writer toward Peer;
+	// FramesRecv counts frames read from Peer (both include control frames).
+	FramesSent int64
+	FramesRecv int64
+	// QueueDepth is the writer queue's instantaneous frame count at snapshot
+	// time; QueuePeak its high-water mark over the connection's lifetime.
+	QueueDepth int64
+	QueuePeak  int64
+	// OneWay histograms the estimated one-way latency of data frames
+	// received FROM Peer: offset-corrected receive time minus the send stamp,
+	// clamped at zero. It deliberately includes the sender's writer-queue
+	// wait — queueing delay is exactly what the gauge is for.
+	OneWay LatencyHist
+}
+
+// WireReport is a snapshot of one node's (or several merged nodes') wire
+// accounting: per-peer counters plus each node's estimated clock offset to
+// node 0's clock, in nanoseconds.
+type WireReport struct {
+	Peers   []PeerWire
+	Offsets map[int]int64
+}
+
+// Merge appends another report's peers and offsets into r.
+func (r *WireReport) Merge(o WireReport) {
+	r.Peers = append(r.Peers, o.Peers...)
+	if len(o.Offsets) > 0 && r.Offsets == nil {
+		r.Offsets = make(map[int]int64, len(o.Offsets))
+	}
+	for k, v := range o.Offsets {
+		r.Offsets[k] = v
+	}
+}
+
+// MergedLatency folds every peer's one-way histogram into one.
+func (r *WireReport) MergedLatency() LatencyHist {
+	var h LatencyHist
+	for i := range r.Peers {
+		h.Merge(r.Peers[i].OneWay)
+	}
+	return h
+}
+
+// FmtNS renders a nanosecond count human-readably (µs/ms resolution) for
+// console summaries.
+func FmtNS(ns int64) string {
+	switch {
+	case ns >= 1e9:
+		return fmt.Sprintf("%.2fs", float64(ns)/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.1fms", float64(ns)/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.1fµs", float64(ns)/1e3)
+	default:
+		return fmt.Sprintf("%dns", ns)
+	}
+}
