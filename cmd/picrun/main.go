@@ -83,6 +83,8 @@ func main() {
 		listen    = flag.String("listen", "", "coordinator: rendezvous listen address (default: an ephemeral loopback address; set host:port to accept remote -join workers)")
 		spawn     = flag.Int("spawn", -1, "coordinator: worker processes to fork locally (-1 = one per non-coordinator rank; fewer leaves slots for remote -join workers)")
 		dumpState = flag.String("dumpstate", "", "write the verified final state (float bits in hex) and balance log to this file")
+		ckptEvery = flag.Int("checkpoint-every", 0, "end an epoch every N steps with a distributed checkpoint (0 = off)")
+		recovery  = flag.Bool("recover", false, "survive rank failures: roll back to the last checkpoint, re-admit a replacement -join worker, and resume (needs -checkpoint-every and a wire transport)")
 	)
 	flag.IntVar(p, "ranks", 4, "alias for -p")
 	flag.Parse()
@@ -90,6 +92,7 @@ func main() {
 	opts := runOptions{
 		impl: *impl, ranks: *p, steps: *steps, n: *n, workers: *workers,
 		transport: *transport, join: *join, spawn: *spawn,
+		ckptEvery: *ckptEvery, recover: *recovery,
 	}
 	if err := validateOptions(opts); err != nil {
 		fatal(err)
@@ -128,7 +131,8 @@ func main() {
 			Mesh: mesh, N: *n, K: *k, M: *mVert,
 			Dist: d0, Seed: *seed, Steps: *steps, Verify: *verify,
 			Workers: *workers, Tile: *tile, Telemetry: *timeline != "" || *chrome != "",
-			Transport: *transport,
+			Transport:       *transport,
+			CheckpointEvery: *ckptEvery, Recover: *recovery,
 		}
 		eng, err := makeEngine(*impl, *p, cfg, implCfg)
 		if err != nil {
@@ -191,7 +195,8 @@ func main() {
 		Dist: d0, Seed: *seed, Steps: *steps, Verify: *verify,
 		Workers: *workers, Tile: *tile,
 		Telemetry: obs.sampling(), Live: live,
-		Transport: *transport,
+		Transport:       *transport,
+		CheckpointEvery: *ckptEvery, Recover: *recovery,
 	}
 
 	if *impl == "serial" {
@@ -205,8 +210,14 @@ func main() {
 	report := func(res *driver.Result, err error) { reportParallel(res, err, obs) }
 	if *transport != driver.TransportInproc {
 		// Multi-process: rendezvous + forked single-rank workers, this
-		// process hosting rank 0.
-		runCoordinator(eng, opts, *listen, live, report)
+		// process hosting rank 0. With -recover, the coordinator becomes
+		// the elastic supervisor: it re-runs the rendezvous after a rank
+		// loss and re-forks replacements for dead local workers.
+		if *recovery {
+			runElasticCoordinator(eng, opts, *listen, report)
+		} else {
+			runCoordinator(eng, opts, *listen, live, report)
+		}
 		return
 	}
 	report(eng.Run(*p))
@@ -358,6 +369,13 @@ func reportParallel(res *driver.Result, err error, obs obsOpts) {
 		bytes += s.BytesMigrated
 	}
 	fmt.Printf("LB activity: %d migrations, %d payload bytes\n", migrations, bytes)
+	if rc := res.Recovery; rc != nil {
+		fmt.Printf("epochs: %d commit(s)", rc.Commits)
+		if rc.Rollbacks > 0 {
+			fmt.Printf(", %d rollback(s), %d readmit(s) across %d world generation(s)", rc.Rollbacks, rc.Readmits, rc.Generations)
+		}
+		fmt.Println()
+	}
 	for _, s := range res.PerRank {
 		fmt.Printf("  rank %2d: compute %-10v exchange %-10v overlap %-10v balance %-10v migrate %-10v particles %d\n",
 			s.Rank, s.Compute.Round(time.Microsecond), s.Exchange.Round(time.Microsecond),

@@ -41,6 +41,9 @@ func TestValidateOptions(t *testing.T) {
 		{"spawn without wire", func(o *runOptions) { o.spawn = 2 }, "-spawn"},
 		{"spawn beyond ranks", func(o *runOptions) { o.transport = "tcp"; o.spawn = 4 }, "-spawn"},
 		{"serial with transport", func(o *runOptions) { o.impl = "serial"; o.transport = "tcp" }, "serial"},
+		{"negative checkpoint interval", func(o *runOptions) { o.ckptEvery = -3 }, "-checkpoint-every"},
+		{"recover without checkpoints", func(o *runOptions) { o.transport = "tcp"; o.recover = true }, "-checkpoint-every"},
+		{"recover without wire", func(o *runOptions) { o.recover = true; o.ckptEvery = 5 }, "-recover"},
 	}
 	for _, tc := range cases {
 		o := ok
@@ -103,6 +106,57 @@ func TestMultiProcessBitwiseIdentity(t *testing.T) {
 	}
 	if string(a) != string(b) {
 		t.Fatal("multi-process state dump differs from the in-process run")
+	}
+}
+
+// TestRecoveryEndToEnd is the chaos acceptance check for -recover through
+// the real process tree: a TCP run whose rank 2 SIGKILLs itself mid-run
+// (via the PICRUN_CHAOS_KILL hook — the self-kill is a real SIGKILL, so
+// the sockets die with no handshake) must roll back to the last committed
+// checkpoint, re-admit a re-forked replacement, and still dump the exact
+// final state of an uninterrupted in-process run.
+func TestRecoveryEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("forks a process tree and kills part of it")
+	}
+	dir := t.TempDir()
+	recState := filepath.Join(dir, "recovered.txt")
+	refState := filepath.Join(dir, "reference.txt")
+	common := []string{
+		"-impl=diffusion", "-ranks=3", "-L=16", "-n=3000", "-steps=40",
+		"-r=0.9", "-every=5", "-seed=7",
+	}
+	runPicrun(t, append(common, "-dumpstate="+refState)...)
+
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(exe, append(common,
+		"-transport=tcp", "-checkpoint-every=10", "-recover", "-dumpstate="+recState)...)
+	cmd.Env = append(os.Environ(), "PICRUN_BE_MAIN=1", "PICRUN_CHAOS_KILL=2:25")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("recovery run failed: %v\n%s", err, out)
+	}
+	for _, want := range []string{"verification: PASSED", "rollback"} {
+		if !strings.Contains(string(out), want) {
+			t.Fatalf("recovery run output lacks %q:\n%s", want, out)
+		}
+	}
+	a, err := os.ReadFile(recState)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(refState)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) == 0 {
+		t.Fatal("empty state dump")
+	}
+	if string(a) != string(b) {
+		t.Fatal("recovered run's state dump differs from the uninterrupted run")
 	}
 }
 

@@ -15,7 +15,9 @@ import (
 	"math"
 	"os"
 	"os/exec"
+	"strconv"
 	"strings"
+	"time"
 
 	"github.com/parres/picprk/internal/comm"
 	"github.com/parres/picprk/internal/comm/wire"
@@ -34,6 +36,8 @@ type runOptions struct {
 	transport string
 	join      string
 	spawn     int
+	ckptEvery int
+	recover   bool
 }
 
 // validateOptions rejects malformed run shapes with actionable errors
@@ -67,6 +71,17 @@ func validateOptions(o runOptions) error {
 	}
 	if o.impl == "serial" && (o.transport != driver.TransportInproc || o.join != "") {
 		return fmt.Errorf("-impl serial runs in one process and has no transport")
+	}
+	if o.ckptEvery < 0 {
+		return fmt.Errorf("-checkpoint-every must be positive or 0 to disable, got %d", o.ckptEvery)
+	}
+	if o.recover {
+		if o.ckptEvery == 0 {
+			return fmt.Errorf("-recover needs checkpoints to roll back to: add -checkpoint-every N")
+		}
+		if o.transport == driver.TransportInproc {
+			return fmt.Errorf("-recover needs a wire transport: add -transport tcp or -transport unix")
+		}
 	}
 	if o.spawn >= 0 && o.spawn > o.ranks-1 {
 		return fmt.Errorf("-spawn %d exceeds the %d non-coordinator ranks", o.spawn, o.ranks-1)
@@ -162,6 +177,132 @@ func runCoordinator(eng *driver.Engine, o runOptions, listen string, live *telem
 	report(res, runErr)
 }
 
+// workerProc tracks one forked worker so the elastic coordinator can tell
+// dead processes (to be replaced) from live ones (which rejoin on their
+// own).
+type workerProc struct {
+	cmd  *exec.Cmd
+	done chan struct{}
+}
+
+func (w *workerProc) dead() bool {
+	select {
+	case <-w.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// runElasticCoordinator is runCoordinator's fault-tolerant variant: the
+// engine's RunElastic supervisor owns the rendezvous/run loop, and this
+// side supplies the process management — fork the initial local workers,
+// and after a rank loss reap the dead ones and fork replacements into the
+// re-opened rendezvous. Externally joined workers are the user's to
+// re-join (the rendezvous address stays the same across generations).
+func runElasticCoordinator(eng *driver.Engine, o runOptions, listen string, report func(*driver.Result, error)) {
+	network := o.transport
+	exe, err := os.Executable()
+	if err != nil {
+		fatal(err)
+	}
+	spawn := o.effectiveSpawn()
+	var procs []*workerProc
+	fork := func(addr string, replacement bool) error {
+		cmd := exec.Command(exe, workerArgs(addr)...)
+		cmd.Stdout = os.Stdout
+		cmd.Stderr = os.Stderr
+		if replacement {
+			// The chaos kill targets the first world generation only: a
+			// replacement inheriting the armed hook would crash again at the
+			// same step after every rollback, and the run would burn through
+			// its recovery budget re-killing its own replacements.
+			cmd.Env = environWithout(chaosKillEnv)
+		}
+		if err := cmd.Start(); err != nil {
+			return err
+		}
+		w := &workerProc{cmd: cmd, done: make(chan struct{})}
+		go func() {
+			_ = cmd.Wait() // a crashed (replaced) worker exits nonzero by design
+			close(w.done)
+		}()
+		procs = append(procs, w)
+		return nil
+	}
+	spawnWorkers := func(gen int, addr string) error {
+		if gen == 0 {
+			if spawn < o.ranks-1 {
+				fmt.Printf("rendezvous: %s %s — waiting for %d externally joined rank(s)\n",
+					network, addr, o.ranks-1-spawn)
+			}
+			for i := 0; i < spawn; i++ {
+				if err := fork(addr, false); err != nil {
+					return fmt.Errorf("forking worker %d: %w", i, err)
+				}
+			}
+			return nil
+		}
+		// A rank was lost: give the OS a moment to reap the dead child (a
+		// SIGKILLed process shows up within milliseconds; the wait only runs
+		// long when the lost rank was an external worker), then fork one
+		// replacement per dead local worker. Survivors rejoin by themselves.
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			dead := 0
+			for _, w := range procs {
+				if w.dead() {
+					dead++
+				}
+			}
+			if dead > 0 || time.Now().After(deadline) {
+				alive := procs[:0]
+				for _, w := range procs {
+					if !w.dead() {
+						alive = append(alive, w)
+					}
+				}
+				procs = alive
+				if dead == 0 {
+					fmt.Printf("recovery: no dead local worker; waiting for an external re-join at %s %s\n", network, addr)
+				}
+				for i := 0; i < dead; i++ {
+					fmt.Printf("recovery: re-forking a replacement worker (generation %d)\n", gen)
+					if err := fork(addr, true); err != nil {
+						return fmt.Errorf("re-forking replacement: %w", err)
+					}
+				}
+				return nil
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+
+	res, runErr := eng.RunElastic(driver.ElasticOptions{
+		Network: network, Listen: listen, Ranks: o.ranks,
+		SpawnWorkers: spawnWorkers, Bind: bindFor(network, listen),
+	})
+	// Worker exit codes are not propagated here: the victim of a recovered
+	// crash exits nonzero by design, and any failure that actually sank the
+	// run already surfaced through RunElastic.
+	for _, w := range procs {
+		<-w.done
+	}
+	report(res, runErr)
+}
+
+// environWithout returns the current environment minus one variable.
+func environWithout(name string) []string {
+	env := os.Environ()
+	out := env[:0]
+	for _, kv := range env {
+		if !strings.HasPrefix(kv, name+"=") {
+			out = append(out, kv)
+		}
+	}
+	return out
+}
+
 // bindFor picks the mesh-listener bind address for a node: loopback runs
 // can leave it empty (wire defaults apply); a coordinator listening on a
 // routable address advertises the same host for its mesh listener so remote
@@ -177,10 +318,61 @@ func bindFor(network, listen string) string {
 	return host + ":0"
 }
 
+// chaosKillEnv, when set to "rank:step" in a worker's environment, arms a
+// self-inflicted SIGKILL: the worker holding that rank kills its own
+// process at the top of that step — no shutdown handshake, no flushed
+// buffers, exactly what an external `kill -9` produces. The chaos e2e test
+// and the CI recovery job use it to crash a rank at a deterministic point.
+const chaosKillEnv = "PICRUN_CHAOS_KILL"
+
+// chaosKillHook parses a chaosKillEnv spec into a step hook. The hook
+// disarms itself on every process the first time its world passes the kill
+// step: after the rollback the re-executed steps must not re-trigger the
+// crash on a survivor that was re-admitted under the victim's rank.
+func chaosKillHook(spec string) (func(*comm.Comm, int), error) {
+	rankStr, stepStr, ok := strings.Cut(spec, ":")
+	if !ok {
+		return nil, fmt.Errorf("%s=%q: want rank:step", chaosKillEnv, spec)
+	}
+	rank, err1 := strconv.Atoi(rankStr)
+	step, err2 := strconv.Atoi(stepStr)
+	if err1 != nil || err2 != nil {
+		return nil, fmt.Errorf("%s=%q: want rank:step", chaosKillEnv, spec)
+	}
+	armed := true
+	return func(c *comm.Comm, st int) {
+		if !armed || st < step {
+			return
+		}
+		if st == step && c.Rank() == rank {
+			p, _ := os.FindProcess(os.Getpid())
+			_ = p.Kill()
+			select {} // never step past a pending SIGKILL
+		}
+		armed = false
+	}, nil
+}
+
 // runWorker executes the worker side of a multi-process run: join the
 // coordinator's rendezvous, host the assigned rank, and exit. Results are
 // reported by the process hosting rank 0, so a worker is silent on success.
+// With -recover armed, a lost peer means "the supervisor is rolling the
+// world back": the worker rejoins the same rendezvous address instead of
+// exiting (Engine.RunElasticWorker owns that loop).
 func runWorker(eng *driver.Engine, o runOptions) {
+	if spec := os.Getenv(chaosKillEnv); spec != "" {
+		hook, err := chaosKillHook(spec)
+		if err != nil {
+			fatal(err)
+		}
+		eng.StepHook = hook
+	}
+	if o.recover {
+		if err := eng.RunElasticWorker(o.transport, o.join); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	node, err := wire.Join(o.transport, o.join, wire.JoinOptions{Count: 1, WantBase: -1})
 	if err != nil {
 		fatal(err)

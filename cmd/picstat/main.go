@@ -32,15 +32,16 @@ func main() {
 		chrome = flag.String("chrome", "", "also convert the timeline to Chrome trace-event JSON at this path")
 		clock  = flag.String("clock", telemetry.ClockBSP, "chrome trace clock: bsp | wall")
 		follow = flag.Bool("follow", false, "treat the argument as a picrun -http address and stream live samples from its /events endpoint")
+		retry  = flag.Duration("retry", time.Minute, "with -follow, keep reconnecting to a dropped /events stream for this long per outage (0 = give up on the first drop)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: picstat [-top N] [-rows N] [-chrome out.json] [-clock bsp|wall] timeline.jsonl\n       picstat -follow host:port")
+		fmt.Fprintln(os.Stderr, "usage: picstat [-top N] [-rows N] [-chrome out.json] [-clock bsp|wall] timeline.jsonl\n       picstat -follow [-retry 1m] host:port")
 		os.Exit(2)
 	}
 
 	if *follow {
-		if err := followEvents(flag.Arg(0)); err != nil {
+		if err := followEvents(flag.Arg(0), *retry); err != nil {
 			fatal(err)
 		}
 		return
@@ -133,6 +134,34 @@ func printReport(tl *telemetry.Timeline, top, rows int) {
 		first.Load.Imbalance, last.Load.Imbalance, lo, hi, decisions)
 	fmt.Printf("  exchanged %d bytes on the wire (framed columnar), migrated %d bytes for balancing\n",
 		xbytes, mbytes)
+
+	if len(tl.Events) > 0 {
+		commits, rollbacks, readmits := 0, 0, 0
+		for _, e := range tl.Events {
+			switch e.Kind {
+			case telemetry.EventCommit:
+				commits++
+			case telemetry.EventRollback:
+				rollbacks++
+			case telemetry.EventReadmit:
+				readmits++
+			}
+		}
+		fmt.Printf("\nepoch lifecycle: %d commit(s), %d rollback(s), %d readmit(s)\n", commits, rollbacks, readmits)
+		wallBase := tl.Events[0].WallNS
+		for _, e := range tl.Events {
+			wall := "-"
+			if e.WallNS != 0 {
+				wall = telemetry.FmtNS(e.WallNS - wallBase)
+			}
+			switch e.Kind {
+			case telemetry.EventReadmit:
+				fmt.Printf("  %10s  gen %d  %-8s  rank %d re-admitted\n", wall, e.Gen, e.Kind, e.Rank)
+			default:
+				fmt.Printf("  %10s  gen %d  %-8s  step %d\n", wall, e.Gen, e.Kind, e.Step)
+			}
+		}
+	}
 
 	fmt.Printf("\nworst %d step(s) by wall time (slowest rank sets the pace):\n", min(top, len(ss)))
 	fmt.Printf("  %6s  %10s  %10s  %10s  %10s  %10s  %10s  %7s\n",

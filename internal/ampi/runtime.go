@@ -220,6 +220,83 @@ func (rt *Runtime) Migrate(newOwner []int) (int, error) {
 	return moves, nil
 }
 
+// pupStatBytes serializes an int64 counter through its bit pattern,
+// writing back only when unpacking (packing must not mutate).
+func pupStatBytes(p *pup.PUPer, v *int64) {
+	u := uint64(*v)
+	p.Uint64(&u)
+	if p.Mode() == pup.Unpacking {
+		*v = int64(u)
+	}
+}
+
+// PUPState serializes the runtime's mutable state through one traversal:
+// the owner table, the migration counters, and every locally-hosted VP in
+// ascending id order. It is the per-core checkpoint shard of the runtime —
+// pack it on every core and the union reconstructs the world. Unpacking
+// first retires the current local VPs into the shell freelist (the same
+// recycling path Migrate uses, so a restore stays off the allocator once
+// warm), then rebuilds the local set from the stream. The owner table is
+// validated against the communicator and against each restored VP's id.
+func (rt *Runtime) PUPState(p *pup.PUPer) {
+	nvp := rt.nvp
+	p.Int(&nvp)
+	if p.Mode() == pup.Unpacking && nvp != rt.nvp {
+		p.Fail(fmt.Errorf("ampi: checkpoint has %d VPs, runtime has %d", nvp, rt.nvp))
+		return
+	}
+	pup.Slice(p, &rt.location, func(p *pup.PUPer, core *int) { p.Int(core) })
+	p.Int(&rt.Stats.LBInvocations)
+	p.Int(&rt.Stats.VPsSent)
+	p.Int(&rt.Stats.VPsReceived)
+	pupStatBytes(p, &rt.Stats.BytesSent)
+	pupStatBytes(p, &rt.Stats.BytesReceived)
+
+	if p.Mode() == pup.Unpacking {
+		if len(rt.location) != rt.nvp {
+			p.Fail(fmt.Errorf("ampi: checkpoint owner table has %d entries for %d VPs", len(rt.location), rt.nvp))
+			return
+		}
+		for id, v := range rt.local {
+			delete(rt.local, id)
+			rt.free = append(rt.free, v)
+		}
+	}
+	n := len(rt.local)
+	p.Int(&n)
+	if p.Mode() == pup.Unpacking {
+		me := rt.c.Rank()
+		for i := 0; i < n; i++ {
+			var v VP
+			if k := len(rt.free); k > 0 {
+				v = rt.free[k-1]
+				rt.free[k-1] = nil
+				rt.free = rt.free[:k-1]
+			} else {
+				v = rt.factory()
+			}
+			v.PUP(p)
+			if p.Err() != nil {
+				return
+			}
+			id := v.VPID()
+			if id < 0 || id >= rt.nvp || rt.location[id] != me {
+				p.Fail(fmt.Errorf("ampi: checkpoint VP %d does not belong on core %d", id, me))
+				return
+			}
+			rt.local[id] = v
+		}
+		rt.idsValid = false
+	} else {
+		for _, id := range rt.LocalIDs() {
+			rt.local[id].PUP(p)
+			if p.Err() != nil {
+				return
+			}
+		}
+	}
+}
+
 // LoadBalance is the collective rebalancing step (the analogue of AMPI's
 // MPI_Migrate): MeasureLoads, run the strategy, Migrate. The driver engine
 // calls the three pieces separately (the Balancer layer sits between

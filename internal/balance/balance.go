@@ -125,6 +125,18 @@ type Balancer interface {
 	History() []string
 }
 
+// HistoryRestorer is the optional checkpoint hook: a Balancer that records
+// history implements it so the driver's epoch supervisor can roll the
+// decision log back to (or forward onto) a committed checkpoint. All other
+// per-step balancer state is recomputed from fresh Observe/Plan calls each
+// cadence, so the history is the only state a restore must carry for the
+// BalanceLog of a recovered run to match an uninterrupted one verbatim.
+type HistoryRestorer interface {
+	// RestoreHistory replaces the decision history with h (taking ownership
+	// of the slice).
+	RestoreHistory(h []string)
+}
+
 // NullBalancer is the baseline policy: never balance.
 type NullBalancer struct{}
 

@@ -64,3 +64,6 @@ func (b *DiffusionBalancer) Apply(p Plan) {
 
 // History implements Balancer.
 func (b *DiffusionBalancer) History() []string { return b.history }
+
+// RestoreHistory implements HistoryRestorer.
+func (b *DiffusionBalancer) RestoreHistory(h []string) { b.history = h }

@@ -56,6 +56,9 @@ func (b *strategyBalancer) Apply(p Plan) {
 // History implements Balancer.
 func (b *strategyBalancer) History() []string { return b.history }
 
+// RestoreHistory implements HistoryRestorer.
+func (b *strategyBalancer) RestoreHistory(h []string) { b.history = h }
+
 // AMPIBalancer is the paper's "ampi" policy (§IV-C): every Interval steps
 // a runtime strategy reassigns over-decomposed VPs to cores from the
 // globally-reduced per-VP loads.

@@ -13,12 +13,13 @@ import (
 // from wildcard sources and therefore carries a per-call sequence number in
 // its tag.
 const (
-	tagBarrier    = -1
-	tagBcast      = -2
-	tagReduce     = -3
-	tagAlltoall   = -5
-	tagSparseBase = -1000000
-	tagGatherBase = -3000000
+	tagBarrier     = -1
+	tagBcast       = -2
+	tagReduce      = -3
+	tagAlltoall    = -5
+	tagSparseBase  = -1000000
+	tagGatherBase  = -3000000
+	tagScatterBase = -4000000
 )
 
 // Barrier blocks until every rank of the communicator has entered it.
@@ -132,6 +133,29 @@ func Min[T Number](a, b T) T {
 // the drivers use (per-rank scalars or small structs). The root receives
 // from a wildcard source, so the tag carries a per-call sequence number to
 // keep consecutive gathers separate when ranks race ahead.
+// Scatter is the inverse of Gather: root distributes vs[i] to rank i and
+// every rank returns its own element. Non-root callers pass nil. Like
+// Gather it is linear from the root — it moves bulk state (checkpoint
+// shards), not latency-critical traffic — and carries a per-call sequence
+// number in its tag so back-to-back scatters cannot interleave.
+func Scatter[T any](c *Comm, root int, vs []T) T {
+	c.scatterSeq++
+	tag := tagScatterBase - int(c.scatterSeq%1000000)
+	if c.rank == root {
+		if len(vs) != c.Size() {
+			panic(fmt.Sprintf("comm: Scatter root has %d values for %d ranks", len(vs), c.Size()))
+		}
+		for i, v := range vs {
+			if i != root {
+				c.Send(i, tag, v)
+			}
+		}
+		return vs[root]
+	}
+	data, _ := c.Recv(root, tag)
+	return cast[T](data, "Scatter")
+}
+
 func Gather[T any](c *Comm, root int, v T) []T {
 	c.gatherSeq++
 	tag := tagGatherBase - int(c.gatherSeq%1000000)

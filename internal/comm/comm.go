@@ -257,14 +257,15 @@ func (w *World) isAborted() bool {
 // Run, or a subcommunicator from Split. Methods are safe to call only from
 // the owning rank's goroutine (as in MPI).
 type Comm struct {
-	world     *World
-	rank      int   // rank within this communicator
-	group     []int // world ranks of the members, indexed by comm rank
-	ctx       uint64
-	splits    uint64
-	sparseSeq uint64
-	gatherSeq uint64
-	xchgSeq   uint64
+	world      *World
+	rank       int   // rank within this communicator
+	group      []int // world ranks of the members, indexed by comm rank
+	ctx        uint64
+	splits     uint64
+	sparseSeq  uint64
+	gatherSeq  uint64
+	scatterSeq uint64
+	xchgSeq    uint64
 	// xchgOpen is set between ExchangePtrStart and ExchangePtrFinish;
 	// xchgTag is the open exchange's tag, so Finish matches the Start it
 	// pairs with even if other traffic interleaves.

@@ -146,22 +146,30 @@ func getU64(b []byte) uint64 {
 	return uint64(getU32(b[0:])) | uint64(getU32(b[4:]))<<32
 }
 
-// encodeString pup-encodes a bare string (abort payloads).
-func encodeString(s string) []byte {
+// Abort frames carry a structured payload so typed failures survive the
+// trip: the error text plus, when the abort was caused by a vanished peer,
+// the lowest world rank that peer hosted (-1 otherwise). The receiving node
+// rebuilds a comm.ErrPeerLost from it, which is how every rank of a world
+// — not just the ones directly wired to the dead process — observes the
+// same typed error.
+func encodeAbort(lostRank int, msg string) []byte {
 	sz := pup.NewSizer()
-	sz.String(&s)
+	sz.Int(&lostRank)
+	sz.String(&msg)
 	pk := pup.NewPacker(sz.Size())
-	pk.String(&s)
+	pk.Int(&lostRank)
+	pk.String(&msg)
 	return pk.Bytes()
 }
 
-// decodeString reverses encodeString.
-func decodeString(b []byte) (string, error) {
+// decodeAbort reverses encodeAbort.
+func decodeAbort(b []byte) (lostRank int, msg string, err error) {
 	u := pup.NewUnpacker(b)
+	u.Int(&lostRank)
 	var s string
 	u.String(&s)
 	if u.Err() != nil {
-		return "", u.Err()
+		return -1, "", u.Err()
 	}
-	return s, nil
+	return lostRank, s, nil
 }

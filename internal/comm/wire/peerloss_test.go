@@ -1,0 +1,121 @@
+package wire
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/parres/picprk/internal/comm"
+)
+
+// Peer-loss detection: the transport must distinguish an orderly shutdown
+// (BYE handshake, then EOF) from a process vanishing mid-run (EOF with no
+// BYE), and surface the latter as the typed comm.ErrPeerLost from every
+// survivor's World.Run — the signal the driver's recovery supervisor keys
+// on.
+
+// TestWireKillSurfacesPeerLost: node 2 severs all its connections with no
+// handshake (the in-process analogue of SIGKILL) while the survivors block
+// in a receive. Both survivors' runs must fail with comm.ErrPeerLost naming
+// rank 2; the killed node's own run must fail too, but with a local abort —
+// not a peer loss, since it was the one that died.
+func TestWireKillSurfacesPeerLost(t *testing.T) {
+	nodes, err := LoopbackCluster("tcp", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errs := make([]error, 3)
+	var wg sync.WaitGroup
+	wg.Add(3)
+	for i, n := range nodes {
+		w := comm.NewTransportWorld(n, comm.Options{RecvTimeout: 30 * time.Second})
+		go func(i int, n *Node, w *comm.World) {
+			defer wg.Done()
+			errs[i] = w.Run(func(c *comm.Comm) error {
+				c.Barrier()
+				if c.Rank() == 2 {
+					n.Kill()
+					return nil
+				}
+				c.Recv(comm.AnySource, 5) // never satisfied; the loss must wake it
+				return nil
+			})
+		}(i, n, w)
+	}
+	wg.Wait()
+
+	for _, i := range []int{0, 1} {
+		var pl comm.ErrPeerLost
+		if !errors.As(errs[i], &pl) {
+			t.Fatalf("survivor %d: got %v, want a comm.ErrPeerLost", i, errs[i])
+		}
+		if pl.Rank != 2 {
+			t.Errorf("survivor %d: lost rank %d, want 2", i, pl.Rank)
+		}
+	}
+	if errs[2] == nil {
+		t.Fatal("killed node's own Run returned nil")
+	}
+	var pl comm.ErrPeerLost
+	if errors.As(errs[2], &pl) {
+		t.Errorf("killed node misreported its own death as a peer loss: %v", errs[2])
+	}
+}
+
+// TestWireKillUnblocksCollective: survivors stuck inside a collective (an
+// allreduce that can never complete without the dead rank) must also be
+// woken with the typed loss, not hang until the receive watchdog fires.
+func TestWireKillUnblocksCollective(t *testing.T) {
+	nodes, err := LoopbackCluster("tcp", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errs := make([]error, 3)
+	var wg sync.WaitGroup
+	wg.Add(3)
+	for i, n := range nodes {
+		w := comm.NewTransportWorld(n, comm.Options{RecvTimeout: 30 * time.Second})
+		go func(i int, n *Node, w *comm.World) {
+			defer wg.Done()
+			errs[i] = w.Run(func(c *comm.Comm) error {
+				c.Barrier()
+				if c.Rank() == 2 {
+					n.Kill()
+					return nil
+				}
+				comm.AllreduceScalar(c, int64(c.Rank()), comm.Sum[int64])
+				return nil
+			})
+		}(i, n, w)
+	}
+	wg.Wait()
+	for _, i := range []int{0, 1} {
+		var pl comm.ErrPeerLost
+		if !errors.As(errs[i], &pl) {
+			t.Fatalf("survivor %d: got %v, want a comm.ErrPeerLost", i, errs[i])
+		}
+		if pl.Rank != 2 {
+			t.Errorf("survivor %d: lost rank %d, want 2", i, pl.Rank)
+		}
+	}
+}
+
+// TestWireOrderlyShutdownNoPeerLost: ranks finishing at very different
+// times produce BYE-then-EOF on every connection; no rank may mistake the
+// expected EOFs for a lost peer. (This is the regression test for reading
+// a premature EOF as orderly: the two paths share the readLoop exit and
+// are told apart only by whether BYE arrived first.)
+func TestWireOrderlyShutdownNoPeerLost(t *testing.T) {
+	for _, err := range runCluster(t, "unix", 3, comm.Options{}, func(c *comm.Comm) error {
+		c.Barrier()
+		// Stagger the exits so fast nodes close their sockets long before
+		// slow ones stop reading.
+		time.Sleep(time.Duration(c.Rank()) * 30 * time.Millisecond)
+		return nil
+	}) {
+		if err != nil {
+			t.Fatalf("orderly shutdown surfaced an error: %v", err)
+		}
+	}
+}

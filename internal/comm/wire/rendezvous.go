@@ -10,6 +10,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/parres/picprk/internal/comm"
+
 	"github.com/parres/picprk/internal/pup"
 	"github.com/parres/picprk/internal/telemetry"
 )
@@ -408,6 +410,13 @@ func (n *Node) mesh() error {
 	for j := 0; j <= n.index; j++ {
 		conn, err := net.DialTimeout(n.network, n.nodes[j].Addr, n.hsTimeout)
 		if err != nil {
+			// The rendezvous admitted this peer but its listener is gone: the
+			// process died between bootstrap and mesh. Surface the typed loss
+			// so supervisors treat it like a mid-run crash.
+			if j != n.index {
+				return fmt.Errorf("wire: node %d dial node %d (%s): %v: %w",
+					n.index, j, n.nodes[j].Addr, err, comm.ErrPeerLost{Rank: n.nodes[j].Base})
+			}
 			return fmt.Errorf("wire: node %d dial node %d (%s): %w", n.index, j, n.nodes[j].Addr, err)
 		}
 		f := frame{typ: frameHello, src: uint32(n.index)}
@@ -425,7 +434,7 @@ func (n *Node) mesh() error {
 		}
 		n.peers[j] = newPeer(conn)
 		n.conns = append(n.conns, conn)
-		go n.readLoop(conn)
+		go n.readLoop(conn, j)
 	}
 	// Accepts: one from every node above us, plus our own self-dial.
 	for k := 0; k < len(n.nodes)-n.index; k++ {
@@ -457,7 +466,7 @@ func (n *Node) mesh() error {
 			return fmt.Errorf("wire: node %d: unexpected mesh hello from node %d", n.index, from)
 		}
 		n.conns = append(n.conns, conn)
-		go n.readLoop(conn)
+		go n.readLoop(conn, from)
 	}
 	for j, p := range n.peers {
 		if p == nil {

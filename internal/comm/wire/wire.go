@@ -149,10 +149,18 @@ func (n *Node) Ship(dst int, m comm.Message) {
 }
 
 // Abort implements comm.Transport: broadcast the failure to every peer so
-// their blocked receives wake, and release local Finish waiters.
+// their blocked receives wake, and release local Finish waiters. When the
+// failure is a peer loss, the lost rank travels in the abort payload so
+// nodes not directly watching the dead connection still see the typed
+// comm.ErrPeerLost.
 func (n *Node) Abort(err error) {
 	n.abortOnce.Do(func() {
-		f := frame{typ: frameAbort, src: uint32(n.index), sendNS: n.WallClockNS(), payload: encodeString(err.Error())}
+		lost := -1
+		var pl comm.ErrPeerLost
+		if errors.As(err, &pl) {
+			lost = pl.Rank
+		}
+		f := frame{typ: frameAbort, src: uint32(n.index), sendNS: n.WallClockNS(), payload: encodeAbort(lost, err.Error())}
 		b := f.encode(nil)
 		for i, p := range n.peers {
 			if i != n.index {
@@ -172,6 +180,42 @@ func (n *Node) fail(err error) {
 
 func (n *Node) markAborted() {
 	n.markedOnce.Do(func() { close(n.abortedCh) })
+}
+
+// Kill abruptly severs every mesh connection with no shutdown handshake —
+// no DONE, no BYE, and no abort frame reaches the peers. It is the
+// in-process analogue of SIGKILLing the hosting process, used by the chaos
+// and recovery tests: peers observe a raw EOF mid-stream and surface
+// comm.ErrPeerLost, while the local world aborts so its rank goroutines
+// unwind instead of hanging on receives that can never complete.
+func (n *Node) Kill() {
+	if n.handler != nil {
+		n.handler.RemoteAbort(fmt.Errorf("wire: node %d killed", n.index))
+	}
+	n.markAborted()
+	n.closeAll()
+}
+
+// remoteAbort is a peer-loss abort reconstructed from the wire: the sender's
+// error text, unwrapping to the typed comm.ErrPeerLost it carried.
+type remoteAbort struct {
+	msg  string
+	lost int
+}
+
+func (e remoteAbort) Error() string { return e.msg }
+func (e remoteAbort) Unwrap() error { return comm.ErrPeerLost{Rank: e.lost} }
+
+// peerLostError converts a broken mesh connection into the typed peer-loss
+// error. peerIdx is the node on the far end; its lowest hosted rank names
+// the loss. A broken self-dial stream (or an unidentified connection) stays
+// a generic failure — it signals local teardown, not a vanished peer.
+func (n *Node) peerLostError(peerIdx int, cause error) error {
+	if peerIdx < 0 || peerIdx >= len(n.nodes) || peerIdx == n.index {
+		return fmt.Errorf("wire: node %d lost a peer connection: %w", n.index, cause)
+	}
+	return fmt.Errorf("wire: node %d lost node %d (%v): %w",
+		n.index, peerIdx, cause, comm.ErrPeerLost{Rank: n.nodes[peerIdx].Base})
 }
 
 // Finish implements comm.Transport: run the shutdown handshake (or, when
@@ -299,14 +343,17 @@ func (n *Node) noteBye() {
 // readLoop consumes frames from one socket until it breaks or the world
 // shuts down. Per-peer frame order is preserved because each peer pair
 // shares one ordered stream with a single reader — the wire equivalent of
-// the in-process non-overtaking guarantee.
-func (n *Node) readLoop(conn net.Conn) {
+// the in-process non-overtaking guarantee. peerIdx is the node index on the
+// far end of conn (known at both dial and accept time), so a premature EOF
+// — the stream breaking without the orderly BYE — is attributed to that
+// peer as a typed comm.ErrPeerLost rather than a generic read error.
+func (n *Node) readLoop(conn net.Conn, peerIdx int) {
 	<-n.started
 	for {
 		f, err := readFrame(conn)
 		if err != nil {
 			if !n.isClosing() {
-				n.handler.RemoteAbort(fmt.Errorf("wire: node %d lost a peer connection: %w", n.index, err))
+				n.handler.RemoteAbort(n.peerLostError(peerIdx, err))
 				n.markAborted()
 			}
 			return
@@ -332,11 +379,17 @@ func (n *Node) readLoop(conn net.Conn) {
 			n.handler.Incoming(dst, comm.Message{Ctx: f.ctx, Src: src, Tag: int(f.tag), Data: v})
 		case frameAbort:
 			n.recordControl(int(f.src))
-			msg := "wire: remote abort"
-			if s, serr := decodeString(f.payload); serr == nil && s != "" {
-				msg = s
+			var aerr error
+			if lost, msg, derr := decodeAbort(f.payload); derr == nil && msg != "" {
+				if lost >= 0 {
+					aerr = remoteAbort{msg: msg, lost: lost}
+				} else {
+					aerr = errors.New(msg)
+				}
+			} else {
+				aerr = errors.New("wire: remote abort")
 			}
-			n.handler.RemoteAbort(errors.New(msg))
+			n.handler.RemoteAbort(aerr)
 			n.markAborted()
 		case frameDone:
 			n.recordControl(int(f.src))

@@ -48,6 +48,27 @@ func PUPColumns(p *pup.PUPer, c *Columns) {
 	}
 }
 
+// PUPSoA serializes a whole SoA container — the block substrate's
+// checkpoint payload. Each column is length-prefixed independently (the
+// traversal reuses the container's existing capacity when unpacking, like
+// every other PUP path), and a ragged container fails cleanly rather than
+// producing a silently corrupt particle set.
+func PUPSoA(p *pup.PUPer, s *SoA) {
+	p.Float64s(&s.X)
+	p.Float64s(&s.Y)
+	p.Float64s(&s.VX)
+	p.Float64s(&s.VY)
+	p.Float64s(&s.Q)
+	pup.Slice(p, &s.Meta, PUPSoAMeta)
+	if p.Err() == nil && p.Mode() == pup.Unpacking {
+		n := len(s.X)
+		if len(s.Y) != n || len(s.VX) != n || len(s.VY) != n || len(s.Q) != n || len(s.Meta) != n {
+			p.Fail(fmt.Errorf("core: ragged SoA checkpoint (%d/%d/%d/%d/%d/%d)",
+				len(s.X), len(s.Y), len(s.VX), len(s.VY), len(s.Q), len(s.Meta)))
+		}
+	}
+}
+
 // PUPSoAMeta serializes one 40-byte metadata record (8 ID + 2×8 origin +
 // 4×4 trajectory ints).
 func PUPSoAMeta(p *pup.PUPer, m *SoAMeta) {

@@ -21,6 +21,8 @@ const (
 	kindVPParcels  pup.Kind = 52
 	kindTimeline   pup.Kind = 53
 	kindRankStats  pup.Kind = 54
+	kindRankShard  pup.Kind = 55
+	kindResumeInfo pup.Kind = 56
 )
 
 func pupDuration(p *pup.PUPer, d *time.Duration) {
@@ -102,6 +104,20 @@ func pupRankStats(p *pup.PUPer, s *RankStats) {
 	pupInt64(p, &s.BytesExchanged)
 }
 
+func pupRankShard(p *pup.PUPer, s *rankShard) {
+	p.Int(&s.Rank)
+	p.Int(&s.Step)
+	p.Uint64(&s.NextID)
+	p.Int(&s.MaxParticles)
+	pup.Slice(p, &s.Bal, func(p *pup.PUPer, line *string) { p.String(line) })
+	p.ByteSlice(&s.Sub)
+}
+
+func pupResumeInfo(p *pup.PUPer, r *resumeInfo) {
+	p.Bool(&r.Resume)
+	p.Int(&r.Step)
+}
+
 func init() {
 	pup.RegisterPtrCodec[colsParcel](kindColsParcel, pupColsParcel)
 	pup.RegisterPtrCodec[rowsParcel](kindRowsParcel, pupRowsParcel)
@@ -110,4 +126,6 @@ func init() {
 	})
 	pup.RegisterCodec[rankTimeline](kindTimeline, pupRankTimeline)
 	pup.RegisterCodec[RankStats](kindRankStats, pupRankStats)
+	pup.RegisterCodec[rankShard](kindRankShard, pupRankShard)
+	pup.RegisterCodec[resumeInfo](kindResumeInfo, pupResumeInfo)
 }

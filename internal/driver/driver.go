@@ -107,6 +107,21 @@ type Config struct {
 	// /metrics endpoint — independently of Telemetry, so a capped or
 	// disabled timeline still feeds live gauges.
 	Live *telemetry.Live
+	// CheckpointEvery, when positive, ends an epoch every N steps with a
+	// distributed checkpoint barrier: every rank serializes its full
+	// substrate state through the PUP paths and the shards gather to rank 0
+	// (the commit). The checkpoint work is confined to the boundary steps —
+	// non-boundary steps stay allocation-free and results are bitwise
+	// identical with checkpointing on or off. 0 disables epochs (one epoch
+	// spans the whole run).
+	CheckpointEvery int
+	// Recover arms crash recovery on top of checkpointing (wire transports
+	// only): when a peer vanishes mid-run, survivors roll back to the last
+	// committed epoch, the rendezvous re-admits a replacement into the
+	// vacated rank, and the run resumes — bitwise identical to an
+	// uninterrupted run. Requires CheckpointEvery > 0. Workers use it to
+	// decide whether a lost world means "rejoin" or "exit".
+	Recover bool
 }
 
 // Transport names accepted by Config.Transport (and picrun -transport).
@@ -226,6 +241,12 @@ func (cfg *Config) validate(p int) error {
 		return fmt.Errorf("driver: unknown transport %q (want %s, %s or %s)",
 			tr, TransportInproc, TransportTCP, TransportUnix)
 	}
+	if cfg.CheckpointEvery < 0 {
+		return fmt.Errorf("driver: negative checkpoint interval %d", cfg.CheckpointEvery)
+	}
+	if cfg.Recover && cfg.CheckpointEvery == 0 {
+		return fmt.Errorf("driver: recovery requires a checkpoint interval (set CheckpointEvery)")
+	}
 	if err := cfg.Schedule.Validate(cfg.Mesh); err != nil {
 		return err
 	}
@@ -288,6 +309,22 @@ type Result struct {
 	// nil for in-process transport and for multi-process workers, whose
 	// coordinator queries its own node directly.
 	Wire *telemetry.WireReport
+	// Recovery summarizes the epoch lifecycle of a checkpointed run:
+	// committed epochs, and — for elastic runs that survived rank failures —
+	// rollbacks and re-admissions. Nil when checkpointing was off.
+	Recovery *RecoveryStats
+}
+
+// RecoveryStats counts the epoch lifecycle events of one run.
+type RecoveryStats struct {
+	// Generations is the number of world incarnations the run took: 1 for
+	// an uninterrupted run, +1 per rollback/readmit cycle.
+	Generations int
+	// Commits counts committed epoch checkpoints (rank 0's shard store).
+	Commits int
+	// Rollbacks counts world teardowns caused by a lost rank; Readmits
+	// counts replacement workers admitted into a vacated rank slot.
+	Rollbacks, Readmits int
 }
 
 // MaxParticlesHighWater returns the largest per-rank high-water mark.

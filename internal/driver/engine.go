@@ -56,6 +56,15 @@ type Substrate interface {
 	// ExchangeBytes reports accumulated particle-exchange payload bytes sent
 	// by this rank, in the framed columnar wire size.
 	ExchangeBytes() int64
+	// Checkpoint serializes the rank's full dynamic state — everything not
+	// derivable from the Config — through the PUP paths. Called only at
+	// epoch boundaries, so the steady-state step stays allocation-free.
+	Checkpoint() ([]byte, error)
+	// Restore replaces the rank's dynamic state with a Checkpoint blob
+	// taken on a substrate built from the identical Config (possibly in
+	// another process — the blob is self-describing and validated). Derived
+	// structures (owner tables, tile plans, frontier masks) are rebuilt.
+	Restore(buf []byte) error
 	// Close releases per-rank resources (the move worker pool). The engine
 	// calls it exactly once when the rank's pipeline exits.
 	Close()
@@ -77,6 +86,17 @@ type Engine struct {
 	// Balancer constructs one rank's policy instance. Instances must not
 	// be shared between ranks (they hold per-rank observation state).
 	Balancer func() balance.Balancer
+
+	// store holds the committed epoch shards across world generations when
+	// checkpointing is on. Run installs a fresh one per invocation (before
+	// dispatching rank goroutines — only rank 0 touches it mid-run, but
+	// every rank reads the pointer); RunElastic pre-installs one and
+	// preserves it across generations so a new world can resume.
+	store *commitStore
+	// StepHook, when set, runs at the top of every step on every rank —
+	// fault-injection instrumentation: the chaos tests and picrun's
+	// PICRUN_CHAOS_KILL hook kill a rank from it mid-run.
+	StepHook func(c *comm.Comm, step int)
 }
 
 // Run executes the engine on p ranks and returns rank 0's result. The
@@ -87,6 +107,13 @@ type Engine struct {
 func (e *Engine) Run(p int) (*Result, error) {
 	if err := e.Cfg.validate(p); err != nil {
 		return nil, err
+	}
+	if e.Cfg.CheckpointEvery > 0 {
+		// Fresh store per Run, installed before the rank goroutines fan out
+		// (runWire's concurrent RunWorld calls must not race on it). Only
+		// RunWorld preserves an existing store — that is how RunElastic
+		// carries the resume state across world generations.
+		e.store = newCommitStore()
 	}
 	switch tr := e.Cfg.ResolveTransport(); tr {
 	case TransportInproc:
@@ -103,6 +130,9 @@ func (e *Engine) Run(p int) (*Result, error) {
 func (e *Engine) RunWorld(w *comm.World) (*Result, error) {
 	if err := e.Cfg.validate(w.Size()); err != nil {
 		return nil, err
+	}
+	if e.Cfg.CheckpointEvery > 0 && e.store == nil {
+		e.store = newCommitStore()
 	}
 	var res *Result
 	var resErr error
@@ -166,140 +196,6 @@ func (e *Engine) runWire(network string, p int) (*Result, error) {
 		results[0].Wire = rep
 	}
 	return results[0], nil
-}
-
-// runRank is the per-rank step pipeline shared by every driver.
-func (e *Engine) runRank(c *comm.Comm) (*Result, error) {
-	cfg := e.Cfg
-	sub, err := e.Substrate(c, cfg)
-	if err != nil {
-		return nil, err
-	}
-	defer sub.Close()
-	bal := e.Balancer()
-	es := newEventState(cfg)
-	rec := &trace.Recorder{}
-	rec.ObserveParticles(sub.Count())
-
-	// Telemetry: when sampling, each step snapshots the recorder delta plus
-	// the counters into the per-rank ring and/or the live aggregate. Both
-	// sinks are nil-safe, and when sampling is off the loop below touches
-	// none of this — the steady-state step stays allocation-free and the
-	// run is bitwise identical to an unsampled one.
-	var ring *telemetry.Ring
-	if cfg.Telemetry {
-		capacity := cfg.TelemetryCap
-		if capacity == 0 {
-			capacity = cfg.Steps
-		}
-		ring = telemetry.NewRing(capacity)
-	}
-	sampling := ring != nil || cfg.Live != nil
-	var prevMigrations int
-	var prevBytes, prevXBytes int64
-	var lastWall int64
-
-	interval := bal.Interval()
-	needs := bal.Needs()
-	for step := 1; step <= cfg.Steps; step++ {
-		if sampling {
-			rec.StartStep()
-			// Stamp the step start on the transport's offset-corrected wall
-			// clock, clamped monotone per rank so the wall-clock Chrome trace
-			// never renders a span that starts before its predecessor even if
-			// a resync shifts the offset mid-run.
-			if w := c.WallClockNS(); w > lastWall {
-				lastWall = w
-			} else {
-				lastWall++
-			}
-		}
-		decision := ""
-		if err := sub.MoveExchange(rec); err != nil {
-			return nil, err
-		}
-		sub.ApplyEvents(&es, step)
-		rec.ObserveParticles(sub.Count())
-
-		if interval > 0 && step%interval == 0 {
-			// Decision side: measure loads (collective) and compute the
-			// plan; every rank reaches the identical plan from the
-			// identical globally-reduced observation.
-			var plan balance.Plan
-			rec.Time(trace.Balance, func() {
-				bal.Observe(sub.Measure(needs))
-				plan = bal.Plan(step)
-			})
-			if !plan.Empty() {
-				// Data side: execute the plan, then let the policy log it.
-				var rehome bool
-				var mErr error
-				rec.Time(trace.Migrate, func() { rehome, mErr = sub.Execute(plan) })
-				if mErr != nil {
-					return nil, mErr
-				}
-				bal.Apply(plan)
-				if sampling {
-					// Tag the step with the policy's own history line so the
-					// timeline and -balancelog agree verbatim.
-					if h := bal.History(); len(h) > 0 {
-						decision = h[len(h)-1]
-					}
-				}
-				if rehome {
-					// Particles follow the new decomposition (accounted as
-					// exchange, like any ownership change).
-					if err := sub.Exchange(rec); err != nil {
-						return nil, err
-					}
-				}
-			}
-		}
-
-		if err := sub.CheckOwnership(step); err != nil {
-			return nil, err
-		}
-
-		if sampling {
-			migrations, bytes := sub.MigrationStats()
-			xbytes := sub.ExchangeBytes()
-			s := telemetry.Sample{
-				Step:            step,
-				Rank:            c.Rank(),
-				Phases:          rec.Snapshot(),
-				Particles:       sub.Count(),
-				Migrations:      migrations - prevMigrations,
-				Bytes:           bytes - prevBytes,
-				ExchangeBytes:   xbytes - prevXBytes,
-				ExchangeOverlap: rec.SnapshotOverlap(),
-				Decision:        decision,
-				WallStartNS:     lastWall,
-				ClockOffsetNS:   c.ClockOffsetNS(),
-			}
-			prevMigrations, prevBytes, prevXBytes = migrations, bytes, xbytes
-			ring.Append(s)
-			cfg.Live.Observe(s)
-		}
-	}
-
-	ps := sub.Particles()
-	merged, verified, err := gatherAndVerify(c, cfg, ps)
-	if err != nil {
-		return nil, err
-	}
-	timeline := gatherTimeline(c, e.Name, cfg, ring)
-	migrations, bytes := sub.MigrationStats()
-	rec.Migrations = migrations
-	res := collectResult(c, e.Name, cfg, rec, len(ps), bytes, sub.ExchangeBytes(), migrations)
-	if res != nil {
-		res.Verified = verified && (cfg.Verify || cfg.DistributedVerify)
-		if cfg.Verify {
-			res.Particles = merged
-		}
-		res.BalanceLog = bal.History()
-		res.Timeline = timeline
-	}
-	return res, nil
 }
 
 // rankTimeline carries one rank's telemetry to rank 0.

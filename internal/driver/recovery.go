@@ -1,0 +1,276 @@
+package driver
+
+// Crash recovery over the wire transport: the supervisor side of the epoch
+// lifecycle. RunElastic drives world generations on the coordinator — each
+// generation is a rendezvous bootstrap followed by RunWorld — and turns a
+// comm.ErrPeerLost unwind into a rollback/readmit cycle instead of a dead
+// run: the rendezvous restarts on the same pinned address, survivors
+// rejoin, a replacement worker is admitted into the vacated rank slot, and
+// the new world's Restore phase resumes every rank from the last committed
+// epoch. Workers are stateless across generations (shards are scattered by
+// the new rank assignment), so survivors and replacements run the identical
+// code path — RunElasticWorker is just Join + RunWorld in a loop.
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/parres/picprk/internal/comm"
+	"github.com/parres/picprk/internal/comm/wire"
+	"github.com/parres/picprk/internal/telemetry"
+)
+
+// commitStore holds the last committed epoch across world generations. It
+// lives on the coordinator (rank 0's process); only rank 0 touches it
+// mid-run, but RunElastic reads it between generations, so it locks.
+type commitStore struct {
+	mu sync.Mutex
+	// gen is the current world generation (0 = initial).
+	gen int
+	// step is the last committed step and shards its per-rank state; a nil
+	// shards means nothing committed yet (a rollback restarts from scratch).
+	step   int
+	shards []rankShard
+	// events is the run's epoch lifecycle record, in occurrence order.
+	events []telemetry.Event
+
+	commits, rollbacks, readmits int
+}
+
+func newCommitStore() *commitStore { return &commitStore{} }
+
+// commit transactionally replaces the committed epoch. The caller (rank 0's
+// commit phase) only reaches it after the gather completed, so the store
+// never holds a partial epoch.
+func (s *commitStore) commit(step int, shards []rankShard, wallNS int64) telemetry.Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.step = step
+	s.shards = shards
+	s.commits++
+	ev := telemetry.Event{Kind: telemetry.EventCommit, Step: step, Gen: s.gen, Rank: -1, WallNS: wallNS}
+	s.events = append(s.events, ev)
+	return ev
+}
+
+// resume reports whether a committed epoch exists to restore from, and its
+// shards — the rank-0 side of the generation-start handshake.
+func (s *commitStore) resume() (resumeInfo, []rankShard) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.shards == nil {
+		return resumeInfo{}, nil
+	}
+	return resumeInfo{Resume: true, Step: s.step}, s.shards
+}
+
+// noteRollback records a lost world: survivors will roll back to the last
+// committed step (0 = restart from scratch), and the next generation
+// begins.
+func (s *commitStore) noteRollback(wallNS int64) telemetry.Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.rollbacks++
+	step := 0
+	if s.shards != nil {
+		step = s.step
+	}
+	ev := telemetry.Event{Kind: telemetry.EventRollback, Step: step, Gen: s.gen, Rank: -1, WallNS: wallNS}
+	s.events = append(s.events, ev)
+	s.gen++
+	return ev
+}
+
+// noteReadmit records a replacement worker admitted into the vacated rank
+// slot of the new generation.
+func (s *commitStore) noteReadmit(rank int, wallNS int64) telemetry.Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.readmits++
+	ev := telemetry.Event{Kind: telemetry.EventReadmit, Gen: s.gen, Rank: rank, WallNS: wallNS}
+	s.events = append(s.events, ev)
+	return ev
+}
+
+// summary returns the run's recovery counters and a copy of its event
+// record.
+func (s *commitStore) summary() (RecoveryStats, []telemetry.Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	stats := RecoveryStats{
+		Generations: s.gen + 1,
+		Commits:     s.commits,
+		Rollbacks:   s.rollbacks,
+		Readmits:    s.readmits,
+	}
+	return stats, append([]telemetry.Event(nil), s.events...)
+}
+
+// DefaultMaxRecoveries bounds rollback/readmit cycles when
+// ElasticOptions.MaxRecoveries is zero.
+const DefaultMaxRecoveries = 3
+
+// ElasticOptions configures a fault-tolerant multi-node run.
+type ElasticOptions struct {
+	// Network is the wire transport: "tcp" or "unix".
+	Network string
+	// Listen is the rendezvous listen address ("" = an ephemeral loopback
+	// address). The address resolved in generation 0 is pinned for every
+	// later generation, so survivors and replacements rejoin the same
+	// place.
+	Listen string
+	// Ranks is the world size. The coordinator hosts rank 0; SpawnWorkers
+	// must supply the other Ranks-1 joiners.
+	Ranks int
+	// MaxRecoveries bounds rollback/readmit cycles (0 = the default). A
+	// loss beyond the bound fails the run with the loss error.
+	MaxRecoveries int
+	// SpawnWorkers launches workers for one generation, pointing them at
+	// the rendezvous address. Generation 0 must launch Ranks-1 workers; for
+	// later generations the callback launches only replacements for dead
+	// ones (survivors rejoin by themselves — RunElasticWorker loops). It
+	// owns all process/goroutine bookkeeping. Nil when every worker joins
+	// externally.
+	SpawnWorkers func(gen int, addr string) error
+	// Bind overrides the coordinator node's mesh listener address (see
+	// wire.JoinOptions.Bind).
+	Bind string
+}
+
+// RunElastic executes the engine as the coordinator of a fault-tolerant
+// multi-process (or multi-node) run. It requires CheckpointEvery > 0 and
+// Recover: each generation resumes from the last committed epoch, so the
+// final result is bitwise identical to an uninterrupted run.
+func (e *Engine) RunElastic(o ElasticOptions) (*Result, error) {
+	if err := e.Cfg.validate(o.Ranks); err != nil {
+		return nil, err
+	}
+	if e.Cfg.CheckpointEvery <= 0 || !e.Cfg.Recover {
+		return nil, fmt.Errorf("driver: RunElastic requires Recover and CheckpointEvery > 0")
+	}
+	if !wire.ValidNetwork(o.Network) {
+		return nil, fmt.Errorf("driver: RunElastic requires a wire transport, got %q", o.Network)
+	}
+	maxRec := o.MaxRecoveries
+	if maxRec == 0 {
+		maxRec = DefaultMaxRecoveries
+	}
+	// The store survives generations: it is what a rollback resumes from.
+	e.store = newCommitStore()
+	addr := o.Listen
+	if addr == "" {
+		addr = wire.DefaultAddr(o.Network)
+	}
+	recoveries := 0
+	lostRank := -2 // -2 = no pending readmit; -1 = readmit of unknown rank
+	for gen := 0; ; gen++ {
+		res, runAddr, err := e.runGeneration(o, gen, addr, lostRank)
+		if runAddr != "" {
+			addr = runAddr // pin the resolved address for rejoins
+		}
+		if err == nil {
+			return res, nil
+		}
+		var pl comm.ErrPeerLost
+		if !errors.As(err, &pl) || recoveries >= maxRec {
+			return nil, err
+		}
+		recoveries++
+		lostRank = pl.Rank
+		ev := e.store.noteRollback(time.Now().UnixNano())
+		e.Cfg.Live.ObserveEvent(ev)
+	}
+}
+
+// runGeneration runs one world generation: rendezvous, spawn callback,
+// join, run. It returns the resolved rendezvous address so the caller can
+// pin it across generations even when this generation failed.
+func (e *Engine) runGeneration(o ElasticOptions, gen int, addr string, lostRank int) (*Result, string, error) {
+	rv, err := wire.StartRendezvous(o.Network, addr, o.Ranks)
+	if err != nil {
+		return nil, "", err
+	}
+	addr = rv.Addr()
+	if o.SpawnWorkers != nil {
+		if err := o.SpawnWorkers(gen, addr); err != nil {
+			rv.Close()
+			return nil, addr, err
+		}
+	}
+	node, err := wire.Join(o.Network, addr, wire.JoinOptions{Count: 1, WantBase: 0, Bind: o.Bind})
+	if err != nil {
+		rv.Close()
+		return nil, addr, err
+	}
+	if err := rv.Wait(); err != nil {
+		return nil, addr, err
+	}
+	if gen > 0 && lostRank != -2 {
+		// The world re-formed: the replacement took the vacated slot.
+		ev := e.store.noteReadmit(lostRank, time.Now().UnixNano())
+		e.Cfg.Live.ObserveEvent(ev)
+	}
+	if e.Cfg.Live != nil {
+		e.Cfg.Live.AddWireSource(node.WireReport)
+	}
+	w := comm.NewTransportWorld(node, e.Cfg.WorldOptions())
+	res, runErr := e.RunWorld(w)
+	if runErr != nil {
+		return nil, addr, runErr
+	}
+	if res != nil {
+		rep := node.WireReport()
+		res.Wire = &rep
+	}
+	return res, addr, nil
+}
+
+// RunElasticWorker executes the worker side of a fault-tolerant run: join
+// the coordinator's rendezvous (with retry — between generations there is
+// a window with no listener), run the assigned rank, and — when the world
+// dies under it with a lost peer and recovery is armed — rejoin the next
+// generation. Returns nil when a generation runs to completion.
+func (e *Engine) RunElasticWorker(network, addr string) error {
+	for {
+		node, err := joinWithRetry(network, addr, wire.JoinOptions{Count: 1, WantBase: -1})
+		if err != nil {
+			return err
+		}
+		w := comm.NewTransportWorld(node, e.Cfg.WorldOptions())
+		if _, err := e.RunWorld(w); err != nil {
+			var pl comm.ErrPeerLost
+			if e.Cfg.Recover && errors.As(err, &pl) {
+				continue
+			}
+			return err
+		}
+		return nil
+	}
+}
+
+// joinRetryBudget bounds how long a worker keeps retrying the rendezvous
+// between generations before giving up.
+const joinRetryBudget = 30 * time.Second
+
+// joinWithRetry dials the rendezvous with capped exponential backoff. A
+// Join error between generations usually just means the coordinator has
+// not restarted the listener yet.
+func joinWithRetry(network, addr string, o wire.JoinOptions) (*wire.Node, error) {
+	deadline := time.Now().Add(joinRetryBudget)
+	delay := 50 * time.Millisecond
+	for {
+		node, err := wire.Join(network, addr, o)
+		if err == nil {
+			return node, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("driver: rendezvous rejoin budget exhausted: %w", err)
+		}
+		time.Sleep(delay)
+		if delay *= 2; delay > time.Second {
+			delay = time.Second
+		}
+	}
+}

@@ -12,18 +12,21 @@ import (
 
 // Schema identifies the timeline wire format. Readers reject any other
 // value, so an incompatible change must bump the version — the CI
-// round-trip job fails on silent drift. v4 added the wall_start_ns and
-// clock_offset_ns fields that anchor samples on rank 0's wall clock (v3
-// added exchange_overlap_ns, v2 exchange_bytes); older files are still
-// readable (absent fields read as 0).
-const Schema = "picprk/timeline/v4"
+// round-trip job fails on silent drift. v5 added epoch lifecycle event
+// lines (commit/rollback/readmit, distinguished by an "event" key) between
+// the meta line and the samples (v4 added wall_start_ns and
+// clock_offset_ns, v3 exchange_overlap_ns, v2 exchange_bytes); older files
+// are still readable (absent fields read as 0, absent events as none).
+const Schema = "picprk/timeline/v5"
 
 // legacySchemas are the previous wire formats, accepted on read: each later
-// version only added optional fields, so older files parse unchanged.
+// version only added optional fields or line kinds, so older files parse
+// unchanged.
 var legacySchemas = map[string]bool{
 	"picprk/timeline/v1": true,
 	"picprk/timeline/v2": true,
 	"picprk/timeline/v3": true,
+	"picprk/timeline/v4": true,
 }
 
 // metaJSON is the first line of a timeline file.
@@ -50,6 +53,38 @@ type sampleJSON struct {
 	WallNS     int64            `json:"wall_start_ns,omitempty"`
 	OffsetNS   int64            `json:"clock_offset_ns,omitempty"`
 	Decision   string           `json:"decision,omitempty"`
+}
+
+// eventJSON is one epoch lifecycle event line. The "event" key doubles as
+// the line discriminator: sample lines never carry it.
+type eventJSON struct {
+	Event  string `json:"event"`
+	Step   int    `json:"step,omitempty"`
+	Gen    int    `json:"gen,omitempty"`
+	Rank   *int   `json:"rank,omitempty"`
+	WallNS int64  `json:"wall_ns,omitempty"`
+}
+
+func eventLine(e *Event) eventJSON {
+	ej := eventJSON{Event: e.Kind, Step: e.Step, Gen: e.Gen, WallNS: e.WallNS}
+	if e.Rank >= 0 {
+		r := e.Rank
+		ej.Rank = &r
+	}
+	return ej
+}
+
+func lineEvent(ej *eventJSON) (Event, error) {
+	switch ej.Event {
+	case EventCommit, EventRollback, EventReadmit:
+	default:
+		return Event{}, fmt.Errorf("telemetry: unknown event kind %q", ej.Event)
+	}
+	e := Event{Kind: ej.Event, Step: ej.Step, Gen: ej.Gen, Rank: -1, WallNS: ej.WallNS}
+	if ej.Rank != nil {
+		e.Rank = *ej.Rank
+	}
+	return e, nil
 }
 
 // sampleLine converts a Sample to its wire form.
@@ -123,14 +158,20 @@ func UnmarshalSample(b []byte) (Sample, error) {
 	return lineSample(&sj)
 }
 
-// WriteJSONL writes the timeline as JSON Lines: one meta object, then one
-// object per sample in (step, rank) order.
+// WriteJSONL writes the timeline as JSON Lines: one meta object, the epoch
+// lifecycle events (if any) in occurrence order, then one object per sample
+// in (step, rank) order.
 func WriteJSONL(w io.Writer, tl *Timeline) error {
 	bw := bufio.NewWriter(w)
 	enc := json.NewEncoder(bw)
 	meta := metaJSON{Schema: Schema, Impl: tl.Name, Ranks: tl.P, Steps: tl.Steps, Dropped: tl.Dropped}
 	if err := enc.Encode(meta); err != nil {
 		return err
+	}
+	for i := range tl.Events {
+		if err := enc.Encode(eventLine(&tl.Events[i])); err != nil {
+			return err
+		}
 	}
 	for i := range tl.Samples {
 		if err := enc.Encode(sampleLine(&tl.Samples[i])); err != nil {
@@ -161,6 +202,26 @@ func ReadJSONL(r io.Reader) (*Timeline, error) {
 	tl := &Timeline{Name: meta.Impl, P: meta.Ranks, Steps: meta.Steps, Dropped: meta.Dropped}
 	for line := 2; sc.Scan(); line++ {
 		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		// Event lines carry the "event" discriminator key; everything else
+		// is a sample.
+		var probe struct {
+			Event string `json:"event"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &probe); err != nil {
+			return nil, fmt.Errorf("telemetry: line %d: %w", line, err)
+		}
+		if probe.Event != "" {
+			var ej eventJSON
+			if err := json.Unmarshal(sc.Bytes(), &ej); err != nil {
+				return nil, fmt.Errorf("telemetry: line %d: %w", line, err)
+			}
+			e, err := lineEvent(&ej)
+			if err != nil {
+				return nil, fmt.Errorf("telemetry: line %d: %w", line, err)
+			}
+			tl.Events = append(tl.Events, e)
 			continue
 		}
 		var sj sampleJSON

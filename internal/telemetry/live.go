@@ -26,6 +26,11 @@ type Live struct {
 	xbytes     []atomic.Int64
 	overlapNS  []atomic.Int64
 
+	// Epoch lifecycle counters (checkpointed runs only; stay zero otherwise).
+	commits   atomic.Int64
+	rollbacks atomic.Int64
+	readmits  atomic.Int64
+
 	// stream fans observed samples out to /events subscribers; Publish is a
 	// single atomic load when nobody is listening, so Observe stays
 	// allocation-free on the sampling path.
@@ -83,6 +88,23 @@ func (l *Live) Observe(s Sample) {
 	l.xbytes[s.Rank].Add(s.ExchangeBytes)
 	l.overlapNS[s.Rank].Add(s.ExchangeOverlap.Nanoseconds())
 	l.stream.Publish(s)
+}
+
+// ObserveEvent folds one epoch lifecycle event into the recovery counters.
+// Events are not published on the sample stream — followers see samples
+// only; scrapes see the counters.
+func (l *Live) ObserveEvent(e Event) {
+	if l == nil {
+		return
+	}
+	switch e.Kind {
+	case EventCommit:
+		l.commits.Add(1)
+	case EventRollback:
+		l.rollbacks.Add(1)
+	case EventReadmit:
+		l.readmits.Add(1)
+	}
 }
 
 // Stream returns the live sample stream (/events subscribes to it); nil on
@@ -193,6 +215,10 @@ func (l *Live) WritePrometheus(w io.Writer) {
 
 	sum := stats.Summarize(loads)
 	fmt.Fprintf(w, "# HELP picprk_imbalance_ratio Max over mean particle load (1.0 = perfect balance).\n# TYPE picprk_imbalance_ratio gauge\npicprk_imbalance_ratio %g\n", sum.Imbalance)
+
+	fmt.Fprintf(w, "# HELP picprk_epoch_commits_total Epoch checkpoints committed (all shards gathered to rank 0).\n# TYPE picprk_epoch_commits_total counter\npicprk_epoch_commits_total %d\n", l.commits.Load())
+	fmt.Fprintf(w, "# HELP picprk_rollbacks_total Rollbacks to the last committed epoch after a rank loss.\n# TYPE picprk_rollbacks_total counter\npicprk_rollbacks_total %d\n", l.rollbacks.Load())
+	fmt.Fprintf(w, "# HELP picprk_readmits_total Replacement workers re-admitted into vacated ranks.\n# TYPE picprk_readmits_total counter\npicprk_readmits_total %d\n", l.readmits.Load())
 
 	l.writeWirePrometheus(w)
 }

@@ -145,6 +145,38 @@ type Timeline struct {
 	Dropped int
 	// Samples holds every retained sample, sorted by (Step, Rank).
 	Samples []Sample
+	// Events holds the epoch lifecycle events of a checkpointed run, in
+	// occurrence order: commits, rollbacks, re-admissions. Empty when
+	// checkpointing was off. Samples from a generation that was rolled back
+	// are lost with its world — the rollback events explain the gaps.
+	Events []Event
+}
+
+// Event kinds recorded on a checkpointed run's timeline.
+const (
+	// EventCommit: an epoch checkpoint committed (all shards reached rank 0).
+	EventCommit = "commit"
+	// EventRollback: a rank was lost; survivors rolled back to the last
+	// committed epoch (Step 0 = restart from scratch, nothing committed yet).
+	EventRollback = "rollback"
+	// EventReadmit: a replacement worker was admitted into a vacated rank.
+	EventReadmit = "readmit"
+)
+
+// Event is one epoch lifecycle event: a committed checkpoint, a rollback to
+// one, or a replacement rank's re-admission.
+type Event struct {
+	// Kind is one of EventCommit, EventRollback, EventReadmit.
+	Kind string
+	// Step is the checkpointed step (commit) or the step rolled back to
+	// (rollback); 0 for readmit.
+	Step int
+	// Gen is the world generation the event happened in (0 = initial).
+	Gen int
+	// Rank is the re-admitted rank for readmit events, -1 otherwise.
+	Rank int
+	// WallNS is the event time on the reference wall clock.
+	WallNS int64
 }
 
 // New assembles a Timeline from per-rank sample slices, sorting the merged

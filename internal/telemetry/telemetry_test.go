@@ -95,7 +95,12 @@ func fixtureTimeline() *Timeline {
 		rank1[i].WallStartNS = wallBase + int64(i)*10_000_000 + 200_000
 		rank1[i].ClockOffsetNS = 150_000
 	}
-	return New("diffusion", 2, 3, rank0, rank1)
+	tl := New("diffusion", 2, 3, rank0, rank1)
+	// One committed epoch at step 2 — exercises the v5 event lines.
+	tl.Events = []Event{
+		{Kind: EventCommit, Step: 2, Gen: 0, Rank: -1, WallNS: wallBase + 15_000_000},
+	}
+	return tl
 }
 
 func TestStepStats(t *testing.T) {
