@@ -5,21 +5,28 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 )
 
 // The -benchdiff mode compares two BENCH_driver.json reports — the committed
 // baseline versus a fresh run — and prints per-driver wall-time and per-phase
-// deltas. It is warn-only by design: benchmark noise on shared CI runners
+// deltas. By default it is warn-only: benchmark noise on shared CI runners
 // makes a hard gate flaky, so regressions surface as loud WARN lines in the
-// log (and in the diffable JSON artifacts) rather than as a red build.
+// log (and in the diffable JSON artifacts) rather than as a red build. With
+// -strict, an ns/op regression past the threshold is an error — CI uses it
+// for the in-process suite, whose numbers are stable enough to gate on,
+// while the noisier socket-transport suite stays warn-only.
 
-// warnThreshold is the relative slowdown above which a delta is flagged.
+// warnThreshold is the relative slowdown above which a delta is flagged
+// (and, under -strict, fails the comparison).
 const warnThreshold = 0.10
 
-// runBenchDiff loads the two reports and prints the comparison. Only
-// unreadable or unparsable input is an error; every performance delta,
-// however bad, reports success so CI stays green.
-func runBenchDiff(basePath, newPath string) error {
+// runBenchDiff loads the two reports and prints the comparison. Unreadable
+// or unparsable input is always an error; performance deltas are errors only
+// in strict mode, and only for per-driver ns/op regressions past the
+// threshold (phase-level WARNs never fail — phases shift against each other
+// even when the total holds).
+func runBenchDiff(basePath, newPath string, strict bool) error {
 	base, err := readBenchReport(basePath)
 	if err != nil {
 		return err
@@ -37,6 +44,7 @@ func runBenchDiff(basePath, newPath string) error {
 		byDriver[r.Driver] = r
 	}
 	fmt.Printf("benchdiff: %s -> %s\n", basePath, newPath)
+	var regressed []string
 	for _, nr := range cur.Results {
 		br, ok := byDriver[nr.Driver]
 		if !ok {
@@ -45,6 +53,9 @@ func runBenchDiff(basePath, newPath string) error {
 		}
 		fmt.Printf("%-10s %12d -> %12d ns/op  %s\n",
 			nr.Driver, br.NsPerOp, nr.NsPerOp, deltaTag(br.NsPerOp, nr.NsPerOp))
+		if br.NsPerOp > 0 && float64(nr.NsPerOp-br.NsPerOp)/float64(br.NsPerOp) > warnThreshold {
+			regressed = append(regressed, nr.Driver)
+		}
 		if len(br.PhaseNS) == 0 {
 			if len(nr.PhaseNS) > 0 {
 				fmt.Printf("           (baseline predates per-phase splits; no phase deltas)\n")
@@ -73,6 +84,14 @@ func runBenchDiff(basePath, newPath string) error {
 			fmt.Printf("           overlap   %11.0f%% -> %11.0f%%\n",
 				100*br.overlapRatio(), 100*nr.overlapRatio())
 		}
+		if br.MsgsSent > 0 || nr.MsgsSent > 0 {
+			fmt.Printf("           msgs      %12d -> %12d  (elided %d -> %d)\n",
+				br.MsgsSent, nr.MsgsSent, br.MsgsElided, nr.MsgsElided)
+		}
+	}
+	if strict && len(regressed) > 0 {
+		return fmt.Errorf("ns/op regressed more than %.0f%% for: %s",
+			100*warnThreshold, strings.Join(regressed, ", "))
 	}
 	return nil
 }

@@ -50,6 +50,17 @@ type driverBenchResult struct {
 	// overlap ratio OverlapNS/(OverlapNS + exchange phase time) is the
 	// pipeline's effectiveness: 0 means fully exposed, 1 fully hidden.
 	OverlapNS int64 `json:"overlap_ns,omitempty"`
+	// MsgsSent / MsgsElided count the exchange messages the last timed run
+	// posted vs skipped under the sparse neighbor schedule, summed over
+	// ranks. Their sum is (P-1) × exchange calls; a high elided share means
+	// the topology made most of the all-to-all unnecessary.
+	MsgsSent   int64 `json:"msgs_sent,omitempty"`
+	MsgsElided int64 `json:"msgs_elided,omitempty"`
+	// WireFramesSent / WireWrites count frames enqueued vs vectored writes
+	// issued over the last timed run, summed over every peer connection;
+	// frames/writes is the writer's coalescing factor. Wire transports only.
+	WireFramesSent int64 `json:"wire_frames_sent,omitempty"`
+	WireWrites     int64 `json:"wire_writes,omitempty"`
 	// WireLatencyP50NS / WireLatencyP99NS are upper-bound estimates of the
 	// one-way data-frame latency quantiles over the last timed run, merged
 	// over every peer connection; WireDataFrames is how many data frames
@@ -87,7 +98,10 @@ func (r driverBenchResult) overlapRatio() float64 {
 	return float64(r.OverlapNS) / float64(r.OverlapNS+exposed)
 }
 
-// driverBenchReport is the BENCH_driver.json schema.
+// driverBenchReport is the BENCH_driver.json schema. GoMaxProcs and Workers
+// record the *resolved* values the run used (effective GOMAXPROCS and
+// Config.EffectiveWorkers), not the raw flags — a report is only comparable
+// to another if both say what actually ran.
 type driverBenchReport struct {
 	GoVersion  string              `json:"go_version"`
 	GoMaxProcs int                 `json:"gomaxprocs"`
@@ -146,7 +160,7 @@ func runDriverBench(ranks, workers, tile int, transport, path, timelineDir strin
 		GoVersion:  runtime.Version(),
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		Ranks:      ranks,
-		Workers:    workers,
+		Workers:    cfg.EffectiveWorkers(ranks),
 		Tile:       tile,
 		Transport:  transport,
 		L:          cfg.Mesh.L,
@@ -199,8 +213,14 @@ func runDriverBench(ranks, workers, tile int, transport, path, timelineDir strin
 				res.ExchangedBytes += s.BytesExchanged
 				res.MigratedBytes += s.BytesMigrated
 				res.OverlapNS += s.Overlap.Nanoseconds()
+				res.MsgsSent += s.MsgsSent
+				res.MsgsElided += s.MsgsElided
 			}
 			if last.Wire != nil {
+				for i := range last.Wire.Peers {
+					res.WireFramesSent += last.Wire.Peers[i].FramesSent
+					res.WireWrites += last.Wire.Peers[i].Writes
+				}
 				if h := last.Wire.MergedLatency(); h.Count() > 0 {
 					res.WireLatencyP50NS = h.Quantile(0.5)
 					res.WireLatencyP99NS = h.Quantile(0.99)
@@ -229,9 +249,9 @@ func runDriverBench(ranks, workers, tile int, transport, path, timelineDir strin
 			res.StreamOverheadNS = streamNs - nsPerOp
 		}
 		rep.Results = append(rep.Results, res)
-		fmt.Printf("%-10s %12d ns/op %12d allocs/op %10.1fM particle-steps/s  xchg %s  overlap %4.0f%%",
+		fmt.Printf("%-10s %12d ns/op %12d allocs/op %10.1fM particle-steps/s  xchg %s  overlap %4.0f%%  msgs %d (%d elided)",
 			d.name, res.NsPerOp, res.AllocsPerOp, res.ParticleStepsPerSec/1e6,
-			fmtBytes(res.ExchangedBytes), 100*res.overlapRatio())
+			fmtBytes(res.ExchangedBytes), 100*res.overlapRatio(), res.MsgsSent, res.MsgsElided)
 		if res.WireDataFrames > 0 {
 			fmt.Printf("  wire p50 ≤ %s p99 ≤ %s",
 				telemetry.FmtNS(res.WireLatencyP50NS), telemetry.FmtNS(res.WireLatencyP99NS))

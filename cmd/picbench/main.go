@@ -12,7 +12,9 @@
 //	picbench -quick        # reduced problem sizes (minutes -> seconds)
 //	picbench -drivers      # benchmark the real drivers, write BENCH_driver.json
 //	picbench -benchdiff BENCH_baseline.json BENCH_driver.json
-//	                       # warn-only comparison of two driver reports
+//	                       # compare two driver reports (warn-only)
+//	picbench -benchdiff -strict BENCH_baseline.json BENCH_driver.json
+//	                       # ...failing on >10% ns/op regressions
 package main
 
 import (
@@ -35,7 +37,8 @@ func main() {
 		plot      = flag.Bool("plot", false, "also draw ASCII log-scale charts")
 		machine   = flag.String("machine", "edison", "machine model: edison | fatnode")
 		drivers   = flag.Bool("drivers", false, "benchmark the real goroutine drivers and write a JSON report")
-		diff      = flag.Bool("benchdiff", false, "compare two driver reports (args: baseline.json new.json); warn-only, always exits 0 on readable input")
+		diff      = flag.Bool("benchdiff", false, "compare two driver reports (args: baseline.json new.json); warn-only unless -strict")
+		strict    = flag.Bool("strict", false, "benchdiff: exit non-zero when any driver's ns/op regressed more than 10%")
 		out       = flag.String("o", "BENCH_driver.json", "drivers: output path for the JSON report")
 		tlDir     = flag.String("timelines", "", "drivers: also write TIMELINE_<driver>.jsonl telemetry to this directory (one extra untimed run each)")
 		ranks     = flag.Int("p", 4, "drivers: number of ranks")
@@ -90,7 +93,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "usage: picbench -benchdiff baseline.json new.json")
 			os.Exit(2)
 		}
-		if err := runBenchDiff(flag.Arg(0), flag.Arg(1)); err != nil {
+		if err := runBenchDiff(flag.Arg(0), flag.Arg(1), *strict); err != nil {
 			fatal(err)
 		}
 		return

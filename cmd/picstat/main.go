@@ -134,6 +134,23 @@ func printReport(tl *telemetry.Timeline, top, rows int) {
 		first.Load.Imbalance, last.Load.Imbalance, lo, hi, decisions)
 	fmt.Printf("  exchanged %d bytes on the wire (framed columnar), migrated %d bytes for balancing\n",
 		xbytes, mbytes)
+	var msgsSent, msgsElided int64
+	for i := range tl.Samples {
+		msgsSent += int64(tl.Samples[i].MsgsSent)
+		msgsElided += int64(tl.Samples[i].MsgsElided)
+	}
+	if msgsSent > 0 || msgsElided > 0 {
+		share := 0.0
+		if msgsSent+msgsElided > 0 {
+			share = 100 * float64(msgsElided) / float64(msgsSent+msgsElided)
+		}
+		fmt.Printf("  exchange messages: %d sent, %d elided by the sparse neighbor schedule (%.0f%% of the full ring)\n",
+			msgsSent, msgsElided, share)
+	}
+
+	if len(tl.PeerXchg) > 0 {
+		printPeerMatrix(tl.PeerXchg)
+	}
 
 	if len(tl.Events) > 0 {
 		commits, rollbacks, readmits := 0, 0, 0
@@ -175,6 +192,39 @@ func printReport(tl *telemetry.Timeline, top, rows int) {
 			st.Phases[trace.Balance].Round(time.Microsecond),
 			st.Phases[trace.Migrate].Round(time.Microsecond),
 			st.Load.Imbalance)
+	}
+}
+
+// printPeerMatrix renders the per-peer exchange matrix: one row per sending
+// rank, one column per destination, message counts with byte totals in the
+// row margin. Zero cells print as "." so the neighborhood structure — which
+// pairs never talk — is visible at a glance.
+func printPeerMatrix(rows []telemetry.PeerXchg) {
+	p := len(rows)
+	fmt.Println("\nper-peer exchange matrix (messages sent; '.' = never):")
+	fmt.Printf("  %6s", "src\\dst")
+	for d := 0; d < p; d++ {
+		fmt.Printf("  %8d", d)
+	}
+	fmt.Printf("  %12s\n", "bytes sent")
+	for _, row := range rows {
+		fmt.Printf("  %6d", row.Rank)
+		var bytes int64
+		for d := 0; d < p; d++ {
+			var msgs int64
+			if d < len(row.Msgs) {
+				msgs = row.Msgs[d]
+			}
+			if d < len(row.Bytes) {
+				bytes += row.Bytes[d]
+			}
+			if msgs == 0 {
+				fmt.Printf("  %8s", ".")
+			} else {
+				fmt.Printf("  %8d", msgs)
+			}
+		}
+		fmt.Printf("  %12d\n", bytes)
 	}
 }
 

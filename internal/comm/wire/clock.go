@@ -173,7 +173,7 @@ func (n *Node) WireReport() telemetry.WireReport {
 	for j, p := range n.peers {
 		pw := telemetry.PeerWire{Node: n.index, Peer: j}
 		if p != nil {
-			pw.FramesSent, pw.QueueDepth, pw.QueuePeak = p.stats()
+			pw.FramesSent, pw.QueueDepth, pw.QueuePeak, pw.Writes = p.stats()
 		}
 		pw.FramesRecv = atomic.LoadInt64(&n.recvFrames[j])
 		pw.OneWay.SumNS = atomic.LoadInt64(&n.latSums[j])

@@ -123,14 +123,23 @@ func (n *Node) Start(h comm.Handler) {
 	n.release()
 }
 
+// bufPool recycles frame and payload encode buffers between Ship calls: a
+// data frame's bytes live from encode until the writer batch containing it
+// is handed to the kernel, after which the writer returns the buffer here.
+// Control and broadcast frames stay unpooled (one buffer may sit on several
+// peers' queues, so no single write completion owns it).
+var bufPool = sync.Pool{New: func() any { b := make([]byte, 0, 4096); return &b }}
+
 // Ship implements comm.Transport: serialize the payload through the pup
 // codec registry and enqueue the frame on the destination node's writer.
 // Unlike the in-process substrate, even locally-hosted destinations cross
 // the socket (via the self-dial), so a loopback world exercises the exact
 // frames a distributed one would.
 func (n *Node) Ship(dst int, m comm.Message) {
-	body, kind, err := pup.EncodePayload(nil, m.Data)
+	pb := bufPool.Get().(*[]byte)
+	body, kind, err := pup.EncodePayload((*pb)[:0], m.Data)
 	if err != nil {
+		bufPool.Put(pb)
 		// Abort instead of panicking: Ship may run on a chaos-delay
 		// goroutine, where a panic would crash the process rather than
 		// surface through World.Run.
@@ -143,9 +152,15 @@ func (n *Node) Ship(dst int, m comm.Message) {
 		ctx: m.Ctx, tag: int64(m.Tag),
 		sendNS: n.WallClockNS(), payload: body,
 	}
-	b := f.encode(nil)
+	fb := bufPool.Get().(*[]byte)
+	b := f.encode((*fb)[:0])
+	*fb = b
+	// The frame encode copied the payload, so the payload buffer is free
+	// again already; the frame buffer comes back once its batch is written.
+	*pb = body
+	bufPool.Put(pb)
 	atomic.AddInt64(&n.sent[m.Src], int64(len(b)))
-	n.peers[n.owner[dst]].enqueue(b)
+	n.peers[n.owner[dst]].enqueuePooled(b, fb)
 }
 
 // Abort implements comm.Transport: broadcast the failure to every peer so
@@ -422,21 +437,33 @@ func (n *Node) readLoop(conn net.Conn, peerIdx int) {
 	}
 }
 
+// wbuf is one writer-queue entry: the encoded frame, plus the pool slot to
+// return it to once the batch containing it has been written (nil for
+// control/broadcast frames, whose buffers are shared or caller-owned).
+type wbuf struct {
+	b      []byte
+	pooled *[]byte
+}
+
 // peer is the write side of one mesh connection: an unbounded queue drained
 // by a dedicated writer goroutine, so Ship never blocks on TCP backpressure
 // (comm.Send promises MPI_Isend-with-unbounded-buffer semantics, and a
 // blocking Ship could deadlock two nodes sending large volumes head-on).
+// Each writer wakeup swaps the whole queue out and hands it to the kernel
+// as one vectored write (net.Buffers → writev), so a burst of frames —
+// a rank's entire exchange fan-out — costs one syscall, not one per frame.
 type peer struct {
 	conn net.Conn
 
 	mu      sync.Mutex
 	cond    *sync.Cond
-	queue   [][]byte
+	queue   []wbuf
 	writing bool
 	closed  bool
 	err     error
 	frames  int64 // frames ever enqueued
 	peak    int64 // queue-depth high-water mark
+	writes  int64 // vectored writes issued (frames/writes = coalescing factor)
 }
 
 func newPeer(conn net.Conn) *peer {
@@ -446,10 +473,13 @@ func newPeer(conn net.Conn) *peer {
 	return p
 }
 
-func (p *peer) enqueue(b []byte) {
+func (p *peer) enqueue(b []byte) { p.enqueuePooled(b, nil) }
+
+func (p *peer) enqueuePooled(b []byte, pooled *[]byte) {
 	p.mu.Lock()
-	if !p.closed && p.err == nil {
-		p.queue = append(p.queue, b)
+	dropped := p.closed || p.err != nil
+	if !dropped {
+		p.queue = append(p.queue, wbuf{b: b, pooled: pooled})
 		p.frames++
 		if d := int64(len(p.queue)); d > p.peak {
 			p.peak = d
@@ -457,16 +487,32 @@ func (p *peer) enqueue(b []byte) {
 	}
 	p.cond.Broadcast()
 	p.mu.Unlock()
+	if dropped && pooled != nil {
+		bufPool.Put(pooled)
+	}
 }
 
 // stats snapshots the writer's frame counter and queue gauges.
-func (p *peer) stats() (frames, depth, peak int64) {
+func (p *peer) stats() (frames, depth, peak, writes int64) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return p.frames, int64(len(p.queue)), p.peak
+	return p.frames, int64(len(p.queue)), p.peak, p.writes
+}
+
+// recycleLocked returns every pooled buffer in q to the pool and clears the
+// entries. Caller holds p.mu (pool puts are safe under it).
+func recycleLocked(q []wbuf) {
+	for i := range q {
+		if pb := q[i].pooled; pb != nil {
+			bufPool.Put(pb)
+		}
+		q[i] = wbuf{}
+	}
 }
 
 func (p *peer) writeLoop() {
+	var batch []wbuf
+	var bufs net.Buffers
 	for {
 		p.mu.Lock()
 		for len(p.queue) == 0 && !p.closed {
@@ -476,16 +522,33 @@ func (p *peer) writeLoop() {
 			p.mu.Unlock()
 			return
 		}
-		b := p.queue[0]
-		p.queue = p.queue[1:]
+		// Swap the whole queue out: everything enqueued since the last
+		// wakeup goes to the kernel as one vectored write. The two slices
+		// ping-pong, so the steady state allocates nothing.
+		batch, p.queue = p.queue, batch[:0]
 		p.writing = true
+		p.writes++
 		p.mu.Unlock()
-		_, err := p.conn.Write(b)
+		// WriteTo reslices its receiver in place as segments drain, so it
+		// gets a scratch copy of the refs; batch keeps the originals for
+		// recycling afterwards.
+		bufs = bufs[:0]
+		for i := range batch {
+			bufs = append(bufs, batch[i].b)
+		}
+		_, err := bufs.WriteTo(p.conn)
+		for i := range bufs {
+			bufs[i] = nil
+		}
 		p.mu.Lock()
+		recycleLocked(batch)
 		p.writing = false
 		if err != nil && p.err == nil {
 			p.err = err
-			p.queue = nil // the stream is broken; readers will notice
+			// The stream is broken; readers will notice. Drop what queued
+			// during the failed write, returning its pooled buffers.
+			recycleLocked(p.queue)
+			p.queue = nil
 		}
 		p.cond.Broadcast()
 		p.mu.Unlock()
@@ -493,29 +556,21 @@ func (p *peer) writeLoop() {
 }
 
 // flush blocks until every enqueued frame has been handed to the kernel, the
-// connection breaks, or the timeout passes.
+// connection breaks, or the timeout passes. The writer broadcasts after each
+// batch, so the wait needs no polling — one timer broadcast at the deadline
+// bounds it.
 func (p *peer) flush(timeout time.Duration) error {
 	deadline := time.Now().Add(timeout)
-	stop := make(chan struct{})
-	go func() {
-		t := time.NewTicker(20 * time.Millisecond)
-		defer t.Stop()
-		for {
-			select {
-			case <-stop:
-				return
-			case <-t.C:
-				p.mu.Lock()
-				p.cond.Broadcast()
-				p.mu.Unlock()
-			}
-		}
-	}()
-	defer close(stop)
+	timer := time.AfterFunc(timeout, func() {
+		p.mu.Lock()
+		p.cond.Broadcast()
+		p.mu.Unlock()
+	})
+	defer timer.Stop()
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	for (len(p.queue) > 0 || p.writing) && p.err == nil && !p.closed {
-		if time.Now().After(deadline) {
+		if !time.Now().Before(deadline) {
 			return errors.New("wire: flush timed out")
 		}
 		p.cond.Wait()

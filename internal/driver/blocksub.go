@@ -50,6 +50,12 @@ type blockSubstrate struct {
 	shards             colShards
 	sendPtrs, recvPtrs []*core.Columns
 	xbytes             int64
+	// peerBytes/peerMsgs accumulate the per-destination exchange matrix in
+	// framed columnar units (the same units on both transports, so the
+	// matrix is transport-invariant); nbr derives the sparse exchange
+	// schedule from the owner table after every decomposition change.
+	peerBytes, peerMsgs []int64
+	nbr                 core.NbrSet
 
 	// Tile pipeline state (tileSize == 0 means the pipeline is disabled and
 	// MoveExchange falls back to the sequential Move + Exchange). frontier
@@ -97,29 +103,41 @@ func newBlockSubstrate(c *comm.Comm, cfg Config, px, py int) (*blockSubstrate, e
 	s.soa = core.NewSoA(ps)
 	s.pool = core.NewMovePool(cfg.effectiveWorkers(c.Size()))
 	s.tileSize = cfg.effectiveTile()
+	s.rx, s.ry = cfg.ringWidths()
+	s.peerBytes = make([]int64, c.Size())
+	s.peerMsgs = make([]int64, c.Size())
 	if s.tileSize > 0 {
-		s.rx, s.ry = cfg.ringWidths()
 		s.soaScratch = &core.SoA{}
-		s.rebuildTiles()
 	}
+	s.rebuildTopology()
 	return s, nil
 }
 
-// rebuildTiles recomputes the frontier mask and tile plan for the current
-// decomposition. Called at construction and after every Execute (the cuts
-// moved, so both the remote-owner mask and the rank rectangle changed).
-func (s *blockSubstrate) rebuildTiles() {
+// rebuildTopology recomputes everything derived from the owner table: the
+// frontier mask and tile plan (when the pipeline is on) and the sparse
+// exchange schedule. Called at construction, after every Execute (the cuts
+// moved, so the remote-owner mask, the rank rectangle, and the reachable
+// peer set all changed) and after a checkpoint restore. Installing the
+// schedule mid-run arms comm's full-ring fence, which is exactly what the
+// follow-up rehome exchange needs (it can route particles outside both the
+// old and the new neighbor sets).
+func (s *blockSubstrate) rebuildTopology() {
 	self := int32(s.c.Rank())
-	s.frontier.Rebuild(s.ot, s.cfg.Mesh.L, s.rx, s.ry, func(o int32) bool { return o != self })
-	x0, y0, nx, ny := s.g.RankRect(s.c.Rank())
-	s.plan.Build(&s.frontier, x0, y0, nx, ny, s.tileSize)
-	nt := s.plan.NumTiles()
-	if cap(s.tstarts) < nt+1 {
-		s.tstarts = make([]int32, nt+1)
-		s.tcur = make([]int32, nt)
+	if s.tileSize > 0 {
+		s.frontier.Rebuild(s.ot, s.cfg.Mesh.L, s.rx, s.ry, func(o int32) bool { return o != self })
+		x0, y0, nx, ny := s.g.RankRect(s.c.Rank())
+		s.plan.Build(&s.frontier, x0, y0, nx, ny, s.tileSize)
+		nt := s.plan.NumTiles()
+		if cap(s.tstarts) < nt+1 {
+			s.tstarts = make([]int32, nt+1)
+			s.tcur = make([]int32, nt)
+		}
+		s.tstarts = s.tstarts[:nt+1]
+		s.tcur = s.tcur[:nt]
 	}
-	s.tstarts = s.tstarts[:nt+1]
-	s.tcur = s.tcur[:nt]
+	peers := s.nbr.Rebuild(s.ot, s.cfg.Mesh.L, s.rx, s.ry, s.c.Rank(), s.c.Size(),
+		func(o int32) int { return int(o) })
+	s.c.SetExchangeNeighbors(peers)
 }
 
 func (s *blockSubstrate) owns(cx, cy int) bool { return s.g.OwnerOfCell(cx, cy) == s.c.Rank() }
@@ -182,9 +200,11 @@ func (s *blockSubstrate) Exchange(rec *trace.Recorder) error {
 }
 
 // stageSendShards fills sendPtrs from the scattered shards (nil for self
-// and for empty destinations — the ring still carries the nil, which the
-// double-buffering contract needs) and accounts the framed in-process
-// exchange volume.
+// and for empty destinations — under the sparse schedule the nils inside
+// the neighbor set still travel, the ones outside it are elided entirely;
+// comm's fence keeps the double-buffering contract sound across schedule
+// changes) and accounts the framed in-process exchange volume plus the
+// per-destination byte/message matrix.
 func (s *blockSubstrate) stageSendShards(shards []core.Columns) {
 	p, me := s.c.Size(), s.c.Rank()
 	if len(s.sendPtrs) != p {
@@ -199,6 +219,8 @@ func (s *blockSubstrate) stageSendShards(shards []core.Columns) {
 			continue
 		}
 		s.sendPtrs[dst] = sh
+		s.peerBytes[dst] += sh.FramedBytes()
+		s.peerMsgs[dst]++
 		if !onWire {
 			s.xbytes += sh.FramedBytes()
 		}
@@ -360,9 +382,7 @@ func (s *blockSubstrate) Execute(plan balance.Plan) (bool, error) {
 		s.g, s.block = ng, nb
 	}
 	s.ot = core.NewOwnerTable(s.g.X.Cuts, s.g.Y.Cuts)
-	if s.tileSize > 0 {
-		s.rebuildTiles()
-	}
+	s.rebuildTopology()
 	return true, nil
 }
 
@@ -390,6 +410,9 @@ func (s *blockSubstrate) MigrationStats() (int, int64) { return s.migrations, s.
 
 // ExchangeBytes implements Substrate.
 func (s *blockSubstrate) ExchangeBytes() int64 { return s.xbytes }
+
+// PeerExchange implements Substrate.
+func (s *blockSubstrate) PeerExchange() (bytes, msgs []int64) { return s.peerBytes, s.peerMsgs }
 
 // Close implements Substrate.
 func (s *blockSubstrate) Close() { s.pool.Close() }

@@ -98,9 +98,7 @@ func (s *blockSubstrate) installCuts(xcuts, ycuts []int) error {
 	s.g, s.block = g, block
 	s.ot = core.NewOwnerTable(g.X.Cuts, g.Y.Cuts)
 	s.classified = false
-	if s.tileSize > 0 {
-		s.rebuildTiles()
-	}
+	s.rebuildTopology()
 	return nil
 }
 
@@ -130,8 +128,8 @@ func (s *vpSubstrate) PUP(p *pup.PUPer) {
 	}
 	s.rt.PUPState(p)
 	pupInt64(p, &s.xbytes)
-	if p.Mode() == pup.Unpacking && p.Err() == nil && s.tileSize > 0 {
-		s.rebuildFrontier()
+	if p.Mode() == pup.Unpacking && p.Err() == nil {
+		s.rebuildTopology()
 	}
 }
 

@@ -23,6 +23,7 @@ const (
 	kindRankStats  pup.Kind = 54
 	kindRankShard  pup.Kind = 55
 	kindResumeInfo pup.Kind = 56
+	kindPeerXchg   pup.Kind = 57
 )
 
 func pupDuration(p *pup.PUPer, d *time.Duration) {
@@ -80,9 +81,17 @@ func pupSample(p *pup.PUPer, s *telemetry.Sample) {
 	pupInt64(p, &s.Bytes)
 	pupInt64(p, &s.ExchangeBytes)
 	pupDuration(p, &s.ExchangeOverlap)
+	p.Int(&s.MsgsSent)
+	p.Int(&s.MsgsElided)
 	p.String(&s.Decision)
 	pupInt64(p, &s.WallStartNS)
 	pupInt64(p, &s.ClockOffsetNS)
+}
+
+func pupPeerXchg(p *pup.PUPer, x *telemetry.PeerXchg) {
+	p.Int(&x.Rank)
+	pup.Slice(p, &x.Bytes, pupInt64)
+	pup.Slice(p, &x.Msgs, pupInt64)
 }
 
 func pupRankTimeline(p *pup.PUPer, t *rankTimeline) {
@@ -102,6 +111,8 @@ func pupRankStats(p *pup.PUPer, s *RankStats) {
 	p.Int(&s.Migrations)
 	pupInt64(p, &s.BytesMigrated)
 	pupInt64(p, &s.BytesExchanged)
+	pupInt64(p, &s.MsgsSent)
+	pupInt64(p, &s.MsgsElided)
 }
 
 func pupRankShard(p *pup.PUPer, s *rankShard) {
@@ -128,4 +139,5 @@ func init() {
 	pup.RegisterCodec[RankStats](kindRankStats, pupRankStats)
 	pup.RegisterCodec[rankShard](kindRankShard, pupRankShard)
 	pup.RegisterCodec[resumeInfo](kindResumeInfo, pupResumeInfo)
+	pup.RegisterCodec[telemetry.PeerXchg](kindPeerXchg, pupPeerXchg)
 }

@@ -151,6 +151,14 @@ func (cfg *Config) WorldOptions() comm.Options {
 	return comm.Options{ChaosDelay: cfg.Chaos, ChaosSeed: int64(cfg.Seed)}
 }
 
+// EffectiveWorkers resolves the per-rank move worker count a run with this
+// Config actually uses: the explicit Workers setting, else GOMAXPROCS/ranks
+// with a minimum of 1. Exposed so tooling (picbench) records the resolved
+// value instead of the raw flag.
+func (cfg *Config) EffectiveWorkers(ranks int) int {
+	return cfg.effectiveWorkers(ranks)
+}
+
 // effectiveWorkers resolves the per-rank move worker count.
 func (cfg *Config) effectiveWorkers(ranks int) int {
 	if cfg.Workers > 0 {
@@ -275,6 +283,10 @@ type RankStats struct {
 	// BytesExchanged counts particle-exchange payload bytes sent by this
 	// rank, in the framed columnar wire size (core.Columns.FramedBytes).
 	BytesExchanged int64
+	// MsgsSent counts exchange messages this rank posted over the run;
+	// MsgsElided those the sparse neighbor schedule skipped relative to the
+	// full P-1 ring. Their sum is (P-1) × exchange calls.
+	MsgsSent, MsgsElided int64
 }
 
 // Result is what a driver run returns on rank 0.
@@ -467,10 +479,11 @@ func (b *sendBuckets[T]) next(p int) [][]T {
 
 // colShards is the double-buffered set of per-destination core.Columns
 // shards for the columnar exchange. The safety argument is the one
-// comm.ExchangePtr documents: the full-ring schedule means completing call
-// k+1 implies every receiver finished reading call k's shards, so
-// alternating two generations never overwrites a shard still in flight —
-// even under chaos-mode delivery delays.
+// comm.ExchangePtr documents: completing exchange call k+1 implies every
+// rank the schedule let call k route to has finished reading call k's
+// shards — under a sparse neighbor schedule those are the only ranks that
+// ever held them — so alternating two generations never overwrites a shard
+// still in flight, even under chaos-mode delivery delays.
 type colShards struct {
 	gens [2][]core.Columns
 	gen  int
@@ -554,6 +567,7 @@ func gatherAndVerify(c *comm.Comm, cfg Config, ps []particle.Particle) ([]partic
 
 // collectResult gathers per-rank stats at rank 0 and assembles the Result.
 func collectResult(c *comm.Comm, name string, cfg Config, rec *trace.Recorder, nLocal int, bytesMigrated, bytesExchanged int64, migrations int) *Result {
+	msgsSent, msgsElided := c.ExchangeMsgStats()
 	st := RankStats{
 		Rank:           c.Rank(),
 		Compute:        rec.Get(trace.Compute),
@@ -566,6 +580,8 @@ func collectResult(c *comm.Comm, name string, cfg Config, rec *trace.Recorder, n
 		Migrations:     migrations,
 		BytesMigrated:  bytesMigrated,
 		BytesExchanged: bytesExchanged,
+		MsgsSent:       msgsSent,
+		MsgsElided:     msgsElided,
 	}
 	all := comm.Gather(c, 0, st)
 	if c.Rank() != 0 {

@@ -56,6 +56,10 @@ type Substrate interface {
 	// ExchangeBytes reports accumulated particle-exchange payload bytes sent
 	// by this rank, in the framed columnar wire size.
 	ExchangeBytes() int64
+	// PeerExchange reports the accumulated per-destination exchange matrix:
+	// framed payload bytes and payload messages sent to each peer rank. The
+	// slices are the substrate's own storage — read-only, valid until Close.
+	PeerExchange() (bytes, msgs []int64)
 	// Checkpoint serializes the rank's full dynamic state — everything not
 	// derivable from the Config — through the PUP paths. Called only at
 	// epoch boundaries, so the steady-state step stays allocation-free.
@@ -224,4 +228,21 @@ func gatherTimeline(c *comm.Comm, name string, cfg Config, ring *telemetry.Ring)
 	tl := telemetry.New(name, c.Size(), cfg.Steps, perRank...)
 	tl.Dropped = dropped
 	return tl
+}
+
+// gatherPeerXchg collects every rank's per-peer exchange matrix row at rank
+// 0. Collective; the rows are copied out of the substrate's live storage so
+// the gathered Timeline owns its data.
+func gatherPeerXchg(c *comm.Comm, sub Substrate) []telemetry.PeerXchg {
+	bytes, msgs := sub.PeerExchange()
+	row := telemetry.PeerXchg{
+		Rank:  c.Rank(),
+		Bytes: append([]int64(nil), bytes...),
+		Msgs:  append([]int64(nil), msgs...),
+	}
+	rows := comm.Gather(c, 0, row)
+	if c.Rank() != 0 {
+		return nil
+	}
+	return rows
 }

@@ -97,6 +97,8 @@ type epochRunner struct {
 	prevMigrations int
 	prevBytes      int64
 	prevXBytes     int64
+	prevMsgsSent   int64
+	prevMsgsElided int64
 	lastWall       int64
 
 	interval int
@@ -230,6 +232,7 @@ func (r *epochRunner) adopt(sh rankShard) error {
 	}
 	r.prevMigrations, r.prevBytes = r.sub.MigrationStats()
 	r.prevXBytes = r.sub.ExchangeBytes()
+	r.prevMsgsSent, r.prevMsgsElided = r.c.ExchangeMsgStats()
 	r.step = sh.Step + 1
 	return nil
 }
@@ -346,6 +349,7 @@ func (r *epochRunner) oneStep(step int) error {
 	if r.sampling {
 		migrations, bytes := sub.MigrationStats()
 		xbytes := sub.ExchangeBytes()
+		sent, elided := c.ExchangeMsgStats()
 		s := telemetry.Sample{
 			Step:            step,
 			Rank:            c.Rank(),
@@ -355,11 +359,14 @@ func (r *epochRunner) oneStep(step int) error {
 			Bytes:           bytes - r.prevBytes,
 			ExchangeBytes:   xbytes - r.prevXBytes,
 			ExchangeOverlap: rec.SnapshotOverlap(),
+			MsgsSent:        int(sent - r.prevMsgsSent),
+			MsgsElided:      int(elided - r.prevMsgsElided),
 			Decision:        decision,
 			WallStartNS:     r.lastWall,
 			ClockOffsetNS:   c.ClockOffsetNS(),
 		}
 		r.prevMigrations, r.prevBytes, r.prevXBytes = migrations, bytes, xbytes
+		r.prevMsgsSent, r.prevMsgsElided = sent, elided
 		r.ring.Append(s)
 		cfg.Live.Observe(s)
 	}
@@ -376,6 +383,14 @@ func (r *epochRunner) finalize() error {
 		return err
 	}
 	timeline := gatherTimeline(r.c, r.e.Name, r.cfg, r.ring)
+	if r.ring != nil {
+		// Collective on the same condition as gatherTimeline (every rank
+		// builds a ring or none does, since Config is identical).
+		rows := gatherPeerXchg(r.c, r.sub)
+		if timeline != nil {
+			timeline.PeerXchg = rows
+		}
+	}
 	migrations, bytes := r.sub.MigrationStats()
 	r.rec.Migrations = migrations
 	res := collectResult(r.c, r.e.Name, r.cfg, r.rec, len(ps), bytes, r.sub.ExchangeBytes(), migrations)

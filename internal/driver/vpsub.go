@@ -133,6 +133,12 @@ type vpSubstrate struct {
 
 	psScratch []particle.Particle
 	xbytes    int64
+	// peerBytes/peerMsgs accumulate the per-destination-core exchange
+	// matrix in framed columnar units (transport-invariant); nbr derives
+	// the sparse exchange schedule from the VP owner table and the current
+	// placement, refreshed after every migration.
+	peerBytes, peerMsgs []int64
+	nbr                 core.NbrSet
 
 	// Tile pipeline state (tileSize == 0 disables the pipeline). The VP
 	// substrate splits each VP's particles into an interior head and a
@@ -207,22 +213,33 @@ func newVPSubstrate(c *comm.Comm, cfg Config, overdecompose int) (*vpSubstrate, 
 		vot: core.NewOwnerTable(vg.X.Cuts, vg.Y.Cuts),
 	}
 	s.tileSize = cfg.effectiveTile()
+	s.rx, s.ry = cfg.ringWidths()
+	s.peerBytes = make([]int64, p)
+	s.peerMsgs = make([]int64, p)
 	if s.tileSize > 0 {
-		s.rx, s.ry = cfg.ringWidths()
 		s.sortScratch = &core.SoA{}
-		s.rebuildFrontier()
 	}
+	s.rebuildTopology()
 	return s, nil
 }
 
-// rebuildFrontier recomputes the frontier mask against the current VP
-// placement: remote means the owning VP is hosted on another core. Called
-// at construction and after every migration.
-func (s *vpSubstrate) rebuildFrontier() {
+// rebuildTopology recomputes everything derived from VP placement: the
+// frontier mask (when the pipeline is on — remote means the owning VP is
+// hosted on another core) and the sparse exchange schedule over hosting
+// cores. Called at construction, after every migration, and after a
+// checkpoint restore. A migration does not rehome particles, but it does
+// put the pre-migration schedule's pointers in flight, so installing the
+// refreshed schedule arms comm's full-ring fence.
+func (s *vpSubstrate) rebuildTopology() {
 	me := s.c.Rank()
-	s.frontier.Rebuild(s.vot, s.cfg.Mesh.L, s.rx, s.ry, func(o int32) bool {
-		return s.rt.Location(int(o)) != me
-	})
+	if s.tileSize > 0 {
+		s.frontier.Rebuild(s.vot, s.cfg.Mesh.L, s.rx, s.ry, func(o int32) bool {
+			return s.rt.Location(int(o)) != me
+		})
+	}
+	peers := s.nbr.Rebuild(s.vot, s.cfg.Mesh.L, s.rx, s.ry, me, s.c.Size(),
+		func(o int32) int { return s.rt.Location(int(o)) })
+	s.c.SetExchangeNeighbors(peers)
 }
 
 // Move implements Substrate: each local VP runs through the shared worker
@@ -268,8 +285,10 @@ func (s *vpSubstrate) Exchange(rec *trace.Recorder) error {
 			continue
 		}
 		s.sendPtrs[dst] = &lists[dst]
-		if !onWire {
-			for _, pc := range lists[dst] {
+		s.peerMsgs[dst]++
+		for _, pc := range lists[dst] {
+			s.peerBytes[dst] += pc.Cols.FramedBytes()
+			if !onWire {
 				s.xbytes += pc.Cols.FramedBytes()
 			}
 		}
@@ -402,8 +421,10 @@ func (s *vpSubstrate) MoveExchange(rec *trace.Recorder) error {
 			continue
 		}
 		s.sendPtrs[dst] = &lists[dst]
-		if !onWire {
-			for _, pc := range lists[dst] {
+		s.peerMsgs[dst]++
+		for _, pc := range lists[dst] {
+			s.peerBytes[dst] += pc.Cols.FramedBytes()
+			if !onWire {
 				s.xbytes += pc.Cols.FramedBytes()
 			}
 		}
@@ -528,10 +549,9 @@ func (s *vpSubstrate) Execute(plan balance.Plan) (bool, error) {
 	if _, err := s.rt.Migrate(plan.Owner); err != nil {
 		return false, err
 	}
-	// VP placement changed, so which cells can reach a remote core changed.
-	if s.tileSize > 0 {
-		s.rebuildFrontier()
-	}
+	// VP placement changed, so which cells can reach a remote core — and
+	// therefore the reachable peer set — changed.
+	s.rebuildTopology()
 	return false, nil
 }
 
@@ -570,6 +590,9 @@ func (s *vpSubstrate) MigrationStats() (int, int64) {
 
 // ExchangeBytes implements Substrate.
 func (s *vpSubstrate) ExchangeBytes() int64 { return s.xbytes }
+
+// PeerExchange implements Substrate.
+func (s *vpSubstrate) PeerExchange() (bytes, msgs []int64) { return s.peerBytes, s.peerMsgs }
 
 // Close implements Substrate.
 func (s *vpSubstrate) Close() { s.pool.Close() }

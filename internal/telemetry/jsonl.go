@@ -12,12 +12,14 @@ import (
 
 // Schema identifies the timeline wire format. Readers reject any other
 // value, so an incompatible change must bump the version — the CI
-// round-trip job fails on silent drift. v5 added epoch lifecycle event
-// lines (commit/rollback/readmit, distinguished by an "event" key) between
-// the meta line and the samples (v4 added wall_start_ns and
-// clock_offset_ns, v3 exchange_overlap_ns, v2 exchange_bytes); older files
-// are still readable (absent fields read as 0, absent events as none).
-const Schema = "picprk/timeline/v5"
+// round-trip job fails on silent drift. v6 added the sparse-exchange
+// message counters (msgs_sent/msgs_elided) per sample and per-peer
+// exchange matrix lines (distinguished by an "xchg_rank" key) between the
+// events and the samples (v5 added epoch lifecycle event lines, v4
+// wall_start_ns and clock_offset_ns, v3 exchange_overlap_ns, v2
+// exchange_bytes); older files are still readable (absent fields read as
+// 0, absent lines as none).
+const Schema = "picprk/timeline/v6"
 
 // legacySchemas are the previous wire formats, accepted on read: each later
 // version only added optional fields or line kinds, so older files parse
@@ -27,6 +29,7 @@ var legacySchemas = map[string]bool{
 	"picprk/timeline/v2": true,
 	"picprk/timeline/v3": true,
 	"picprk/timeline/v4": true,
+	"picprk/timeline/v5": true,
 }
 
 // metaJSON is the first line of a timeline file.
@@ -50,9 +53,19 @@ type sampleJSON struct {
 	Bytes      int64            `json:"bytes,omitempty"`
 	XBytes     int64            `json:"exchange_bytes,omitempty"`
 	OverlapNS  int64            `json:"exchange_overlap_ns,omitempty"`
+	MsgsSent   int              `json:"msgs_sent,omitempty"`
+	MsgsElided int              `json:"msgs_elided,omitempty"`
 	WallNS     int64            `json:"wall_start_ns,omitempty"`
 	OffsetNS   int64            `json:"clock_offset_ns,omitempty"`
 	Decision   string           `json:"decision,omitempty"`
+}
+
+// peerXchgJSON is one per-peer exchange matrix line. The "xchg_rank" key
+// doubles as the line discriminator: sample and event lines never carry it.
+type peerXchgJSON struct {
+	XchgRank *int    `json:"xchg_rank"`
+	Bytes    []int64 `json:"xchg_bytes"`
+	Msgs     []int64 `json:"xchg_msgs"`
 }
 
 // eventJSON is one epoch lifecycle event line. The "event" key doubles as
@@ -98,6 +111,8 @@ func sampleLine(s *Sample) sampleJSON {
 		Bytes:      s.Bytes,
 		XBytes:     s.ExchangeBytes,
 		OverlapNS:  s.ExchangeOverlap.Nanoseconds(),
+		MsgsSent:   s.MsgsSent,
+		MsgsElided: s.MsgsElided,
 		WallNS:     s.WallStartNS,
 		OffsetNS:   s.ClockOffsetNS,
 		Decision:   s.Decision,
@@ -118,6 +133,8 @@ func lineSample(sj *sampleJSON) (Sample, error) {
 		Bytes:           sj.Bytes,
 		ExchangeBytes:   sj.XBytes,
 		ExchangeOverlap: time.Duration(sj.OverlapNS),
+		MsgsSent:        sj.MsgsSent,
+		MsgsElided:      sj.MsgsElided,
 		WallStartNS:     sj.WallNS,
 		ClockOffsetNS:   sj.OffsetNS,
 		Decision:        sj.Decision,
@@ -173,6 +190,13 @@ func WriteJSONL(w io.Writer, tl *Timeline) error {
 			return err
 		}
 	}
+	for i := range tl.PeerXchg {
+		px := &tl.PeerXchg[i]
+		r := px.Rank
+		if err := enc.Encode(peerXchgJSON{XchgRank: &r, Bytes: px.Bytes, Msgs: px.Msgs}); err != nil {
+			return err
+		}
+	}
 	for i := range tl.Samples {
 		if err := enc.Encode(sampleLine(&tl.Samples[i])); err != nil {
 			return err
@@ -204,10 +228,11 @@ func ReadJSONL(r io.Reader) (*Timeline, error) {
 		if len(sc.Bytes()) == 0 {
 			continue
 		}
-		// Event lines carry the "event" discriminator key; everything else
-		// is a sample.
+		// Event lines carry the "event" discriminator key, matrix lines
+		// "xchg_rank"; everything else is a sample.
 		var probe struct {
-			Event string `json:"event"`
+			Event    string `json:"event"`
+			XchgRank *int   `json:"xchg_rank"`
 		}
 		if err := json.Unmarshal(sc.Bytes(), &probe); err != nil {
 			return nil, fmt.Errorf("telemetry: line %d: %w", line, err)
@@ -222,6 +247,14 @@ func ReadJSONL(r io.Reader) (*Timeline, error) {
 				return nil, fmt.Errorf("telemetry: line %d: %w", line, err)
 			}
 			tl.Events = append(tl.Events, e)
+			continue
+		}
+		if probe.XchgRank != nil {
+			var pj peerXchgJSON
+			if err := json.Unmarshal(sc.Bytes(), &pj); err != nil {
+				return nil, fmt.Errorf("telemetry: line %d: %w", line, err)
+			}
+			tl.PeerXchg = append(tl.PeerXchg, PeerXchg{Rank: *pj.XchgRank, Bytes: pj.Bytes, Msgs: pj.Msgs})
 			continue
 		}
 		var sj sampleJSON

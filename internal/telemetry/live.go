@@ -25,6 +25,8 @@ type Live struct {
 	bytes      []atomic.Int64
 	xbytes     []atomic.Int64
 	overlapNS  []atomic.Int64
+	msgsSent   []atomic.Int64
+	msgsElided []atomic.Int64
 
 	// Epoch lifecycle counters (checkpointed runs only; stay zero otherwise).
 	commits   atomic.Int64
@@ -68,6 +70,8 @@ func NewLive(ranks int) *Live {
 		bytes:      make([]atomic.Int64, ranks),
 		xbytes:     make([]atomic.Int64, ranks),
 		overlapNS:  make([]atomic.Int64, ranks),
+		msgsSent:   make([]atomic.Int64, ranks),
+		msgsElided: make([]atomic.Int64, ranks),
 	}
 }
 
@@ -87,6 +91,8 @@ func (l *Live) Observe(s Sample) {
 	l.bytes[s.Rank].Add(s.Bytes)
 	l.xbytes[s.Rank].Add(s.ExchangeBytes)
 	l.overlapNS[s.Rank].Add(s.ExchangeOverlap.Nanoseconds())
+	l.msgsSent[s.Rank].Add(int64(s.MsgsSent))
+	l.msgsElided[s.Rank].Add(int64(s.MsgsElided))
 	l.stream.Publish(s)
 }
 
@@ -213,6 +219,16 @@ func (l *Live) WritePrometheus(w io.Writer) {
 		fmt.Fprintf(w, "picprk_exchange_overlap_seconds_total{rank=\"%d\"} %g\n", rank, float64(ns)/1e9)
 	}
 
+	fmt.Fprintf(w, "# HELP picprk_exchange_messages_total Exchange messages posted per rank (sparse neighbor schedule).\n# TYPE picprk_exchange_messages_total counter\n")
+	for rank := 0; rank < l.ranks; rank++ {
+		fmt.Fprintf(w, "picprk_exchange_messages_total{rank=\"%d\"} %d\n", rank, l.msgsSent[rank].Load())
+	}
+
+	fmt.Fprintf(w, "# HELP picprk_exchange_messages_elided_total Exchange messages the sparse neighbor schedule skipped per rank, relative to the full P-1 ring.\n# TYPE picprk_exchange_messages_elided_total counter\n")
+	for rank := 0; rank < l.ranks; rank++ {
+		fmt.Fprintf(w, "picprk_exchange_messages_elided_total{rank=\"%d\"} %d\n", rank, l.msgsElided[rank].Load())
+	}
+
 	sum := stats.Summarize(loads)
 	fmt.Fprintf(w, "# HELP picprk_imbalance_ratio Max over mean particle load (1.0 = perfect balance).\n# TYPE picprk_imbalance_ratio gauge\npicprk_imbalance_ratio %g\n", sum.Imbalance)
 
@@ -244,6 +260,11 @@ func (l *Live) writeWirePrometheus(w io.Writer) {
 	for i := range rep.Peers {
 		p := &rep.Peers[i]
 		fmt.Fprintf(w, "picprk_wire_frames_received_total{node=\"%d\",peer=\"%d\"} %d\n", p.Node, p.Peer, p.FramesRecv)
+	}
+	fmt.Fprintf(w, "# HELP picprk_wire_writes_total Vectored writes issued toward each peer node (frames_sent/writes = coalescing factor).\n# TYPE picprk_wire_writes_total counter\n")
+	for i := range rep.Peers {
+		p := &rep.Peers[i]
+		fmt.Fprintf(w, "picprk_wire_writes_total{node=\"%d\",peer=\"%d\"} %d\n", p.Node, p.Peer, p.Writes)
 	}
 	fmt.Fprintf(w, "# HELP picprk_wire_send_queue_depth Writer-queue frames currently pending toward each peer node.\n# TYPE picprk_wire_send_queue_depth gauge\n")
 	for i := range rep.Peers {

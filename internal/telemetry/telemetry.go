@@ -51,6 +51,13 @@ type Sample struct {
 	// overlap/(overlap+exchange) is how much of the exchange the pipeline
 	// hid behind compute.
 	ExchangeOverlap time.Duration
+	// MsgsSent is the number of exchange messages this rank posted this
+	// step (delta); MsgsElided is the number the sparse neighbor schedule
+	// skipped relative to the full P-1 ring (nil sends never posted). Their
+	// sum per exchange call is always P-1, so elided/(sent+elided) is the
+	// fraction of the all-to-all the topology made unnecessary.
+	MsgsSent   int
+	MsgsElided int
 	// WallStartNS is the wall-clock time this rank began the step, in
 	// nanoseconds on the world's common timeline (rank 0's clock; the wire
 	// transport offset-corrects it, see Comm.WallClockNS). Zero when the
@@ -150,6 +157,22 @@ type Timeline struct {
 	// checkpointing was off. Samples from a generation that was rolled back
 	// are lost with its world — the rollback events explain the gaps.
 	Events []Event
+	// PeerXchg holds each rank's end-of-run per-peer exchange matrix row,
+	// sorted by rank. Empty on timelines from runs (or schema versions)
+	// that did not gather it.
+	PeerXchg []PeerXchg
+}
+
+// PeerXchg is one rank's row of the per-peer exchange matrix: cumulative
+// framed payload bytes and payload messages sent to each destination rank
+// over the whole run. Both slices have length P; the self entry is zero.
+type PeerXchg struct {
+	// Rank is the sending rank.
+	Rank int
+	// Bytes[d] is the framed columnar payload bytes sent to rank d.
+	Bytes []int64
+	// Msgs[d] is the number of non-empty payload messages sent to rank d.
+	Msgs []int64
 }
 
 // Event kinds recorded on a checkpointed run's timeline.

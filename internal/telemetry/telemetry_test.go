@@ -95,10 +95,20 @@ func fixtureTimeline() *Timeline {
 		rank1[i].WallStartNS = wallBase + int64(i)*10_000_000 + 200_000
 		rank1[i].ClockOffsetNS = 150_000
 	}
+	// Each exchange posts one message and elides none (P=2: the only peer is
+	// always a neighbor) — exercises the v6 sample fields.
+	for i := range rank0 {
+		rank0[i].MsgsSent, rank1[i].MsgsSent = 1, 1
+	}
 	tl := New("diffusion", 2, 3, rank0, rank1)
 	// One committed epoch at step 2 — exercises the v5 event lines.
 	tl.Events = []Event{
 		{Kind: EventCommit, Step: 2, Gen: 0, Rank: -1, WallNS: wallBase + 15_000_000},
+	}
+	// Per-peer exchange matrix rows — exercises the v6 matrix lines.
+	tl.PeerXchg = []PeerXchg{
+		{Rank: 0, Bytes: []int64{0, 6352}, Msgs: []int64{0, 3}},
+		{Rank: 1, Bytes: []int64{9968, 0}, Msgs: []int64{3, 0}},
 	}
 	return tl
 }

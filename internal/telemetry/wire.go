@@ -88,6 +88,9 @@ type PeerWire struct {
 	// FramesRecv counts frames read from Peer (both include control frames).
 	FramesSent int64
 	FramesRecv int64
+	// Writes counts writev syscalls the writer issued toward Peer; the ratio
+	// FramesSent/Writes is the coalescing factor (frames per wakeup).
+	Writes int64
 	// QueueDepth is the writer queue's instantaneous frame count at snapshot
 	// time; QueuePeak its high-water mark over the connection's lifetime.
 	QueueDepth int64
